@@ -1,0 +1,76 @@
+// Command experiments regenerates the full evaluation of the
+// reproduction: one experiment per theorem/claim of the paper (see
+// DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments [-only E5] [-big] [-parallel N] [-seed S]
+//
+// -big adds the largest machine sizes (minutes instead of seconds);
+// -parallel runs the mesh engine on N goroutines (0 = GOMAXPROCS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"meshpram/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by id (e.g. E5)")
+	big := flag.Bool("big", false, "include the largest machine sizes")
+	parallel := flag.Int("parallel", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	list := flag.Bool("list", false, "list experiments and exit")
+	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
+	flag.Parse()
+
+	cfg := experiments.Config{Big: *big, Workers: *parallel, Seed: *seed}
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+	runOne := func(e experiments.Experiment) error {
+		var w io.Writer = os.Stdout
+		var f *os.File
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			var err error
+			f, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		fmt.Fprintf(w, "\n== %s: %s ==\n\n", e.ID, e.Claim)
+		return e.Run(w, cfg)
+	}
+
+	if *only != "" {
+		e, ok := experiments.Lookup(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q\n", *only)
+			os.Exit(2)
+		}
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range experiments.All {
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

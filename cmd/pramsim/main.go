@@ -1,0 +1,107 @@
+// Command pramsim runs a PRAM program on either the ideal PRAM or the
+// paper's mesh simulation and reports the step counts and the measured
+// slowdown.
+//
+// Usage:
+//
+//	pramsim -program prefixsum|listrank|matvec [-side 9] [-q 3] [-d 3]
+//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-parallel N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"meshpram/internal/core"
+	"meshpram/internal/hmos"
+	"meshpram/internal/pram"
+)
+
+func main() {
+	prog := flag.String("program", "prefixsum", "prefixsum | listrank | matvec")
+	side := flag.Int("side", 9, "mesh side (n = side²)")
+	q := flag.Int("q", 3, "copies per replication step (prime power ≥ 3)")
+	d := flag.Int("d", 3, "memory dimension: M = f(q, d) variables")
+	k := flag.Int("k", 2, "HMOS levels")
+	size := flag.Int("n", 64, "problem size")
+	backend := flag.String("backend", "both", "both | ideal | mesh")
+	parallel := flag.Int("parallel", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "input seed")
+	flag.Parse()
+
+	build := func() pram.Program {
+		rng := rand.New(rand.NewSource(*seed))
+		switch *prog {
+		case "prefixsum":
+			in := make([]pram.Word, *size)
+			for i := range in {
+				in[i] = pram.Word(rng.Intn(100))
+			}
+			return &pram.PrefixSum{In: in}
+		case "listrank":
+			order := rng.Perm(*size)
+			next := make([]int, *size)
+			for i := 0; i+1 < *size; i++ {
+				next[order[i]] = order[i+1]
+			}
+			next[order[*size-1]] = order[*size-1]
+			return &pram.ListRank{Succ: next, NextBase: 0, RankBase: *size}
+		case "matvec":
+			r := *size
+			A := make([][]pram.Word, r)
+			for i := range A {
+				A[i] = make([]pram.Word, r)
+				for j := range A[i] {
+					A[i][j] = pram.Word(rng.Intn(10))
+				}
+			}
+			x := make([]pram.Word, r)
+			for j := range x {
+				x[j] = pram.Word(rng.Intn(10))
+			}
+			return &pram.MatVec{A: A, X: x, ABase: 0, XBase: r * r, YBase: r*r + r}
+		default:
+			fmt.Fprintf(os.Stderr, "pramsim: unknown program %q\n", *prog)
+			os.Exit(2)
+			return nil
+		}
+	}
+
+	params := hmos.Params{Side: *side, Q: *q, D: *d, K: *k}
+
+	var idealSteps, pramSteps int
+	var meshSteps int64
+	if *backend == "both" || *backend == "ideal" {
+		id := pram.NewIdeal(1<<20, nil)
+		steps, err := pram.Run(build(), id)
+		fatalIf(err)
+		idealSteps = steps
+		fmt.Printf("ideal PRAM:  %d PRAM steps, cost %d\n", steps, id.Steps())
+	}
+	if *backend == "both" || *backend == "mesh" {
+		mb, err := pram.NewMesh(params, core.Config{Workers: *parallel}, nil)
+		fatalIf(err)
+		s := mb.Sim.Scheme()
+		fmt.Printf("mesh:        side=%d n=%d M=%d (alpha=%.3f) q=%d k=%d redundancy=%d\n",
+			*side, s.N, s.Vars(), s.Alpha(), *q, *k, s.CopiesPerVar())
+		steps, err := pram.Run(build(), mb)
+		fatalIf(err)
+		pramSteps = steps
+		meshSteps = mb.Steps()
+		fmt.Printf("mesh:        %d PRAM steps simulated in %d mesh steps\n", steps, meshSteps)
+	}
+	if *backend == "both" && pramSteps > 0 {
+		fmt.Printf("slowdown:    %.1f mesh steps per PRAM step (n=%d, sqrt(n)=%d)\n",
+			float64(meshSteps)/float64(pramSteps), (*side)*(*side), *side)
+		_ = idealSteps
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pramsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module meshpram
+
+go 1.22

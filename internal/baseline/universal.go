@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Carter–Wegman universal hashing [CW79], the memory-distribution
+// mechanism of the randomized simulation literature the paper contrasts
+// itself with ([MV84, KU88, Ran91, …]): h_{a,b}(x) = ((a·x + b) mod p)
+// mod n with p prime and a ∈ [1,p), b ∈ [0,p) drawn at random. The
+// class is 2-universal: Pr[h(x) = h(y)] ≤ 1/n for x ≠ y, which gives
+// good *expected* module contention — but any fixed h admits a bad
+// request set (experiment E14), which is exactly why the deterministic
+// scheme replicates.
+
+// CWHash is one member of the Carter–Wegman class.
+type CWHash struct {
+	P, A, B uint64
+	N       uint64
+}
+
+// NewCWHash draws a hash function for the given universe and range from
+// the seeded generator.
+func NewCWHash(universe, n int, seed int64) (CWHash, error) {
+	if universe < 1 || n < 1 {
+		return CWHash{}, fmt.Errorf("baseline: bad CW parameters universe=%d n=%d", universe, n)
+	}
+	p := nextPrime(uint64(universe))
+	rng := rand.New(rand.NewSource(seed))
+	return CWHash{
+		P: p,
+		A: 1 + uint64(rng.Int63n(int64(p-1))),
+		B: uint64(rng.Int63n(int64(p))),
+		N: uint64(n),
+	}, nil
+}
+
+// Apply evaluates the hash.
+func (h CWHash) Apply(x int) int {
+	return int((h.A*uint64(x) + h.B) % h.P % h.N)
+}
+
+// nextPrime returns the smallest prime ≥ max(v+1, 3).
+func nextPrime(v uint64) uint64 {
+	c := v + 1
+	if c < 3 {
+		c = 3
+	}
+	if c%2 == 0 {
+		c++
+	}
+	for !isPrime(c) {
+		c += 2
+	}
+	return c
+}
+
+func isPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := uint64(3); d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NewNoReplicationCW creates the single-copy baseline with a freshly
+// drawn Carter–Wegman placement instead of the fixed multiplicative
+// hash — the randomized competitor of experiment E14.
+func NewNoReplicationCW(side, vars int, seed int64) (*NoReplication, error) {
+	b, err := NewNoReplication(side, vars)
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewCWHash(vars, b.M.N, seed)
+	if err != nil {
+		return nil, err
+	}
+	b.cw = &h
+	return b, nil
+}

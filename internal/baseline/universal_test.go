@@ -1,0 +1,116 @@
+package baseline
+
+import (
+	"testing"
+)
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 3}, {1, 3}, {2, 3}, {3, 5}, {10, 11}, {100, 101}, {9800, 9803},
+	}
+	for _, c := range cases {
+		if got := nextPrime(c.in); got != c.want {
+			t.Errorf("nextPrime(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint64{2, 3, 5, 7, 11, 101, 9803}
+	composites := []uint64{0, 1, 4, 9, 100, 9801}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("%d should be prime", p)
+		}
+	}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("%d should be composite", c)
+		}
+	}
+}
+
+func TestCWHashRange(t *testing.T) {
+	h, err := NewCWHash(10000, 81, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < 10000; x++ {
+		v := h.Apply(x)
+		if v < 0 || v >= 81 {
+			t.Fatalf("h(%d) = %d out of range", x, v)
+		}
+	}
+}
+
+// 2-universality: over random draws of h, the empirical collision rate
+// of fixed pairs must be near 1/n.
+func TestCWHashUniversality(t *testing.T) {
+	const universe, n, draws = 5000, 81, 400
+	pairs := [][2]int{{0, 1}, {17, 3000}, {4999, 2500}, {123, 321}}
+	for _, pair := range pairs {
+		collisions := 0
+		for s := int64(0); s < draws; s++ {
+			h, err := NewCWHash(universe, n, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h.Apply(pair[0]) == h.Apply(pair[1]) {
+				collisions++
+			}
+		}
+		rate := float64(collisions) / draws
+		// Expect ≈ 1/81 ≈ 0.0123; allow generous sampling slack.
+		if rate > 4.0/float64(n) {
+			t.Errorf("pair %v: collision rate %.4f far above 1/n = %.4f", pair, rate, 1.0/float64(n))
+		}
+	}
+}
+
+// Distribution balance: a random CW hash spreads the universe within a
+// constant factor of uniform.
+func TestCWHashBalance(t *testing.T) {
+	h, err := NewCWHash(9801, 729, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 729)
+	for x := 0; x < 9801; x++ {
+		counts[h.Apply(x)]++
+	}
+	avg := 9801.0 / 729.0
+	for p, c := range counts {
+		if float64(c) > 6*avg {
+			t.Fatalf("processor %d holds %d vars (avg %.1f)", p, c, avg)
+		}
+	}
+}
+
+func TestNoReplicationCWConsistency(t *testing.T) {
+	b, err := NewNoReplicationCW(9, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Op{
+		{Origin: 0, Var: 10, IsWrite: true, Value: 5},
+		{Origin: 1, Var: 20, IsWrite: true, Value: 6},
+	}
+	b.Step(ops)
+	res, _ := b.Step([]Op{{Origin: 3, Var: 10}, {Origin: 4, Var: 20}})
+	if res[0] != 5 || res[1] != 6 {
+		t.Fatalf("reads %v", res)
+	}
+	// Home must agree with the CW placement, not the multiplicative one.
+	if b.Home(10) != b.cw.Apply(10) {
+		t.Fatal("Home ignores the CW hash")
+	}
+}
+
+func TestNewCWHashValidation(t *testing.T) {
+	if _, err := NewCWHash(0, 10, 1); err == nil {
+		t.Error("universe 0 accepted")
+	}
+	if _, err := NewCWHash(10, 0, 1); err == nil {
+		t.Error("range 0 accepted")
+	}
+}

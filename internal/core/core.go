@@ -1,0 +1,586 @@
+// Package core implements the paper's primary contribution: the
+// deterministic simulation of one n-processor PRAM step on an n-node
+// mesh (§3). A step takes a batch of read/write requests for distinct
+// shared variables, selects a minimal target set of copies per variable
+// with CULLING, routes one request packet per selected copy through the
+// nested submesh tessellations (stages k+1 … 1 of the access protocol),
+// performs the timestamped accesses, routes the packets back along
+// their recorded waypoints, and — for reads — returns the value with
+// the most recent timestamp, which the hierarchical majority rule
+// guarantees is the last value written.
+//
+// All step costs follow the machine model of DESIGN.md §6: sorting and
+// ranking are charged their exact data-oblivious round counts, packet
+// routing is simulated cycle by cycle, and phases that run in disjoint
+// submeshes in parallel are charged the maximum over the submeshes.
+package core
+
+import (
+	"fmt"
+
+	"meshpram/internal/culling"
+	"meshpram/internal/hmos"
+	"meshpram/internal/mesh"
+	"meshpram/internal/route"
+)
+
+// Word is the PRAM machine word.
+type Word = int64
+
+// Op is one processor's shared-memory request in a PRAM step.
+type Op struct {
+	Origin  int  // requesting mesh processor
+	Var     int  // shared variable index
+	IsWrite bool // write (true) or read (false)
+	Value   Word // value to write (ignored for reads)
+}
+
+// AccessPolicy selects how many copies an operation must reach.
+type AccessPolicy int
+
+const (
+	// MajorityPolicy is the paper's scheme: culling selects a minimal
+	// hierarchical target set per operation; timestamps arbitrate.
+	MajorityPolicy AccessPolicy = iota
+	// ReadOneWriteAllPolicy is the Mehlhorn–Vishkin [MV84] discipline:
+	// a read touches a single copy, a write updates all q^k copies.
+	// Reads are cheap but a write step degenerates to Θ(c·n) when the
+	// adversary concentrates the copies — the weakness the majority
+	// approach removes (experiment E13).
+	ReadOneWriteAllPolicy
+)
+
+// Config selects simulator variants; the zero value is the paper's
+// scheme.
+type Config struct {
+	// Policy selects the copy-access discipline (default Majority).
+	Policy AccessPolicy
+	// DisableCulling selects minimal target sets without congestion
+	// control (ablation E2/E12).
+	DisableCulling bool
+	// DirectRouting bypasses the staged protocol and routes every copy
+	// packet in one global (l1,l2)-routing (ablation E12).
+	DirectRouting bool
+	// UseNetworkSort runs the shearsort merge-split network round by
+	// round instead of the result-equivalent fast path. Much slower in
+	// wall-clock, identical in results and charged steps (validated by
+	// TestNetworkSortEquivalence); useful when auditing the cost model.
+	UseNetworkSort bool
+	// Torus adds wrap-around links: routing phases that span the whole
+	// machine (stage k+1 and the final return leg) take the shorter way
+	// around each axis. Submesh-confined stages are unchanged — wrap
+	// paths cannot stay inside a submesh (extension; experiment E16).
+	Torus bool
+	// Sort selects the sorting network: route.ShearSort (default, the
+	// documented substitution) or route.RotateSort (O(√n), applies to
+	// square regions with integer √side, falls back elsewhere;
+	// experiment E17).
+	Sort route.SortAlgo
+	// Workers configures the mesh engine parallelism (0 = GOMAXPROCS,
+	// ≤1 sequential).
+	Workers int
+}
+
+// StepStats is the per-PRAM-step cost breakdown and diagnostics.
+type StepStats struct {
+	Packets int // copy request packets routed
+
+	Culling int64 // copy selection (equation 2 shape)
+	Sort    int64 // destination sorting, all stages
+	Rank    int64 // ranking passes, all stages
+	Forward int64 // origin→copy routing cycles, all stages
+	Access  int64 // local memory accesses (max per processor)
+	Return  int64 // copy→origin routing cycles, all stages
+
+	// StageForward[s] is the forward routing cost charged for protocol
+	// stage s (index K+1 … 1; index 0 unused).
+	StageForward []int64
+
+	// Delta[i] is the measured max packets per processor at the start
+	// of stage i (the paper's δ_i), index K+1 … 1.
+	Delta []int
+
+	// PageLoadMax[i] / PageLoadBound[i]: Theorem 3 diagnostics per
+	// level (1 … K) from culling.
+	PageLoadMax   []int
+	PageLoadBound []int
+}
+
+// Total returns the charged steps of the PRAM step.
+func (st *StepStats) Total() int64 {
+	return st.Culling + st.Sort + st.Rank + st.Forward + st.Access + st.Return
+}
+
+// Simulator is a PRAM shared memory of hmos-organized replicated
+// variables living on a mesh.
+type Simulator struct {
+	S   *hmos.Scheme
+	M   *mesh.Machine
+	cfg Config
+
+	// store[p] is processor p's local memory module: copy slot id →
+	// (value, timestamp). Lazily populated; absent means (0, 0).
+	store []map[int64]cell
+
+	now int64 // PRAM step counter (timestamp source)
+}
+
+type cell struct {
+	val Word
+	ts  int64
+}
+
+// New creates a simulator for the given HMOS parameters.
+func New(p hmos.Params, cfg Config) (*Simulator, error) {
+	s, err := hmos.New(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mesh.New(p.Side)
+	if err != nil {
+		return nil, err
+	}
+	if m.N >= 1<<16 {
+		return nil, fmt.Errorf("core: mesh with %d processors exceeds the 2^16 packet-key limit", m.N)
+	}
+	if cfg.Workers != 1 {
+		m.SetParallel(cfg.Workers)
+	}
+	return &Simulator{
+		S:     s,
+		M:     m,
+		cfg:   cfg,
+		store: make([]map[int64]cell, m.N),
+	}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p hmos.Params, cfg Config) *Simulator {
+	sim, err := New(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sim
+}
+
+// Scheme returns the underlying memory organization scheme.
+func (sim *Simulator) Scheme() *hmos.Scheme { return sim.S }
+
+// Mesh returns the machine; its step counter accumulates across Steps.
+func (sim *Simulator) Mesh() *mesh.Machine { return sim.M }
+
+// Now returns the PRAM step counter.
+func (sim *Simulator) Now() int64 { return sim.now }
+
+// pkt is a copy-request packet traveling through the protocol.
+type pkt struct {
+	op  int32 // index into the step's op slice
+	seq int32 // unique per-step id; disambiguates sort keys so the
+	// sorting network and its fast path order packets identically
+	dest   int // processor storing the copy
+	origin int
+	slot   int64 // copy id in the destination module
+	isW    bool
+	val    Word  // write payload / read result
+	ts     int64 // read result timestamp
+
+	// wp are recorded waypoints: wp[0] = origin, wp[j] = position after
+	// forward stage K+1−j+1 … ; used for the return journey.
+	wp []int32
+}
+
+// Step simulates one PRAM step. Variables must be pairwise distinct
+// across ops (combine concurrent requests upstream; see internal/pram).
+// It returns, aligned with ops, the read results (writes yield their
+// written value) and the cost breakdown. All charged steps are also
+// added to the machine's counter.
+func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
+	s, m := sim.S, sim.M
+	K := s.K
+	sim.now++
+	st := &StepStats{
+		StageForward:  make([]int64, K+2),
+		Delta:         make([]int, K+2),
+		PageLoadMax:   make([]int, K+1),
+		PageLoadBound: make([]int, K+1),
+	}
+
+	if len(ops) == 0 {
+		return nil, st
+	}
+	if len(ops) > m.N {
+		panic(fmt.Sprintf("core: %d ops exceed %d processors", len(ops), m.N))
+	}
+
+	// 1. Copy selection.
+	reqs := make([]culling.Request, len(ops))
+	for i, op := range ops {
+		reqs[i] = culling.Request{Origin: op.Origin, Var: op.Var}
+	}
+	var sel *culling.Result
+	switch {
+	case sim.cfg.Policy == ReadOneWriteAllPolicy:
+		sel = sim.selectReadOneWriteAll(ops)
+	case sim.cfg.DisableCulling:
+		sel = culling.SelectWithoutCulling(s, m, reqs)
+	default:
+		sel = culling.Run(s, m, reqs)
+	}
+	st.Culling = sel.Steps
+	for i := 1; i <= K; i++ {
+		st.PageLoadMax[i], st.PageLoadBound[i] = sel.MaxLoad(i)
+	}
+
+	// 2. Build packets at their origins.
+	pkts := make([][]pkt, m.N)
+	var seq int32
+	for i, op := range ops {
+		for _, c := range sel.Selected[i] {
+			pkts[op.Origin] = append(pkts[op.Origin], pkt{
+				op:     int32(i),
+				seq:    seq,
+				dest:   c.Proc,
+				origin: op.Origin,
+				slot:   int64(op.Var)*int64(s.Redundant) + int64(c.Leaf),
+				isW:    op.IsWrite,
+				val:    op.Value,
+				wp:     []int32{int32(op.Origin)},
+			})
+			seq++
+			st.Packets++
+		}
+	}
+
+	// 3. Forward journey.
+	if sim.cfg.DirectRouting {
+		sim.routeDirect(pkts, st)
+	} else {
+		sim.routeStagedForward(pkts, st)
+	}
+
+	// 4. Access the copies.
+	sim.access(pkts, st)
+
+	// 5. Return journey along recorded waypoints.
+	sim.routeReturn(pkts, st)
+
+	// 6. Collect read results: most recent timestamp wins.
+	results := make([]Word, len(ops))
+	best := make([]int64, len(ops))
+	for i := range best {
+		best[i] = -1
+	}
+	maxHome := 0
+	for _, op := range ops {
+		home := pkts[op.Origin]
+		if len(home) > maxHome {
+			maxHome = len(home)
+		}
+	}
+	for p := range pkts {
+		for _, pk := range pkts[p] {
+			if pk.origin != p {
+				panic("core: packet did not return home")
+			}
+			if pk.ts > best[pk.op] {
+				best[pk.op] = pk.ts
+				results[pk.op] = pk.val
+			}
+		}
+	}
+	for i, op := range ops {
+		if op.IsWrite {
+			results[i] = op.Value
+		}
+	}
+	// Local result combination: one step per returned packet.
+	st.Access += int64(maxHome)
+
+	m.AddSteps(st.Total())
+	return results, st
+}
+
+// routeStagedForward runs protocol stages K+1 … 1 (§3.3): at stage
+// s ≥ 2, within every level-s submesh (the full mesh for s = K+1),
+// packets are sorted by destination child submesh, ranked, and routed
+// to balanced positions inside the child; stage 1 delivers each packet
+// to its final processor inside its level-1 submesh.
+func (sim *Simulator) routeStagedForward(pkts [][]pkt, st *StepStats) {
+	s, m := sim.S, sim.M
+	K := s.K
+	q := s.Q
+	for stage := K + 1; stage >= 2; stage-- {
+		parents := sim.stageRegions(stage)
+		childParts := sim.childParts(stage)
+		st.Delta[stage] = maxLoadAll(m, pkts)
+
+		var maxSort, maxRank, maxRoute int64
+		for pi, parent := range parents {
+			if regionEmpty(m, parent, pkts) {
+				continue
+			}
+			// Sort by (child submesh, destination); seq makes the key
+			// unique so network and fast sorts agree exactly.
+			sorted, _, sortSteps := sim.sortSnake(parent, pkts, func(p pkt) uint64 {
+				child := parent.SubRegionIndex(m, q, childParts, p.dest)
+				return uint64(child)<<40 | uint64(uint32(p.dest))<<24 | uint64(uint32(p.seq))
+			})
+			if sortSteps > maxSort {
+				maxSort = sortSteps
+			}
+			// Rank within child groups; balanced intermediate position.
+			rankSteps := 3*int64(parent.W-1) + int64(parent.H-1)
+			if rankSteps > maxRank {
+				maxRank = rankSteps
+			}
+			children := sim.childRegions(stage, pi)
+			groupSeen := make(map[int]int, childParts)
+			for i := 0; i < parent.Size(); i++ {
+				p := parent.ProcAtSnake(m, i)
+				for j := range sorted[p] {
+					pk := &sorted[p][j]
+					child := parent.SubRegionIndex(m, q, childParts, pk.dest)
+					rank := groupSeen[child]
+					groupSeen[child] = rank + 1
+					reg := children[child]
+					pk.ts = int64(reg.ProcAtSnake(m, rank%reg.Size())) // stash intermediate in ts
+				}
+			}
+			routed, cycles := sim.routeIn(parent, stage == K+1, sorted, func(p pkt) int { return int(p.ts) })
+			if cycles > maxRoute {
+				maxRoute = cycles
+			}
+			// Record waypoints and merge back.
+			for i := 0; i < parent.Size(); i++ {
+				p := parent.ProcAtSnake(m, i)
+				for _, pk := range routed[p] {
+					pk.ts = 0
+					pk.wp = append(pk.wp, int32(p))
+					pkts[p] = append(pkts[p], pk)
+				}
+			}
+		}
+		st.Sort += maxSort
+		st.Rank += maxRank
+		st.Forward += maxRoute
+		st.StageForward[stage] = maxSort + maxRank + maxRoute
+	}
+
+	// Stage 1: deliver within level-1 submeshes.
+	st.Delta[1] = maxLoadAll(m, pkts)
+	var maxRoute int64
+	for _, reg := range sim.S.Tess[1] {
+		if regionEmpty(m, reg, pkts) {
+			continue
+		}
+		delivered, cycles := route.GreedyRoute(m, reg, pkts, func(p pkt) int { return p.dest })
+		if cycles > maxRoute {
+			maxRoute = cycles
+		}
+		mergeBack(m, reg, pkts, delivered)
+	}
+	st.Forward += maxRoute
+	st.StageForward[1] = maxRoute
+}
+
+// routeDirect is the E12 ablation: one global sorted greedy routing.
+func (sim *Simulator) routeDirect(pkts [][]pkt, st *StepStats) {
+	m := sim.M
+	full := m.Full()
+	st.Delta[len(st.Delta)-1] = maxLoadAll(m, pkts)
+	sorted, _, sortSteps := sim.sortSnake(full, pkts, func(p pkt) uint64 {
+		return uint64(uint32(p.dest))<<24 | uint64(uint32(p.seq))
+	})
+	st.Sort += sortSteps
+	delivered, cycles := sim.routeIn(full, true, sorted, func(p pkt) int { return p.dest })
+	st.Forward += cycles
+	st.StageForward[1] = sortSteps + cycles
+	for p := range delivered {
+		for _, pk := range delivered[p] {
+			pk.wp = append(pk.wp, int32(pk.origin)) // direct return
+			pkts[p] = append(pkts[p], pk)
+		}
+	}
+}
+
+// access performs the local read/write of every delivered packet.
+func (sim *Simulator) access(pkts [][]pkt, st *StepStats) {
+	maxPer := 0
+	for p := range pkts {
+		if len(pkts[p]) == 0 {
+			continue
+		}
+		if len(pkts[p]) > maxPer {
+			maxPer = len(pkts[p])
+		}
+		for j := range pkts[p] {
+			pk := &pkts[p][j]
+			if pk.dest != p {
+				panic("core: packet accessed at wrong processor")
+			}
+			if pk.isW {
+				if sim.store[p] == nil {
+					sim.store[p] = make(map[int64]cell)
+				}
+				sim.store[p][pk.slot] = cell{val: pk.val, ts: sim.now}
+				pk.ts = sim.now
+			} else {
+				c := cell{}
+				if sim.store[p] != nil {
+					c = sim.store[p][pk.slot]
+				}
+				pk.val, pk.ts = c.val, c.ts
+			}
+		}
+	}
+	st.Access += int64(maxPer)
+	st.Delta[0] = maxPer
+}
+
+// routeReturn retraces the waypoints in reverse: leg ℓ (0-based) routes
+// within the level-(ℓ+1) submeshes (full mesh on the last leg) from the
+// current position to waypoint wp[len−1−ℓ].
+func (sim *Simulator) routeReturn(pkts [][]pkt, st *StepStats) {
+	s, m := sim.S, sim.M
+	if sim.cfg.DirectRouting {
+		delivered, cycles := sim.routeIn(m.Full(), true, pkts, func(p pkt) int { return p.origin })
+		st.Return += cycles
+		for p := range delivered {
+			pkts[p] = append(pkts[p], delivered[p]...)
+		}
+		return
+	}
+	K := s.K
+	for leg := 0; leg <= K; leg++ {
+		var regions []mesh.Region
+		if leg == K {
+			regions = []mesh.Region{m.Full()}
+		} else {
+			regions = s.Tess[leg+1]
+		}
+		target := func(p pkt) int { return int(p.wp[len(p.wp)-1-leg]) }
+		var maxCycles int64
+		for _, reg := range regions {
+			if regionEmpty(m, reg, pkts) {
+				continue
+			}
+			delivered, cycles := sim.routeIn(reg, leg == K, pkts, target)
+			if cycles > maxCycles {
+				maxCycles = cycles
+			}
+			mergeBack(m, reg, pkts, delivered)
+		}
+		st.Return += maxCycles
+	}
+}
+
+// selectReadOneWriteAll implements the [MV84] discipline: writes select
+// every copy, reads select the single copy indexed by Var mod q^k (a
+// fixed load-spreading choice). No culling runs, so no congestion
+// control applies — that is the point of the comparison.
+func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
+	s := sim.S
+	res := &culling.Result{
+		Selected: make([][]culling.SelectedCopy, len(ops)),
+		PageLoad: make([][]int, s.K+1),
+		Bound:    make([]int, s.K+1),
+	}
+	for i := 1; i <= s.K; i++ {
+		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+	}
+	var buf []hmos.Copy
+	for i, op := range ops {
+		buf = s.Copies(op.Var, buf[:0])
+		record := func(c hmos.Copy) {
+			res.Selected[i] = append(res.Selected[i], culling.SelectedCopy{Leaf: c.Leaf, Proc: c.Proc})
+			for lvl := 1; lvl <= s.K; lvl++ {
+				res.PageLoad[lvl][s.PageIndex(lvl, c.Path)]++
+			}
+		}
+		if op.IsWrite {
+			for _, c := range buf {
+				record(c)
+			}
+		} else {
+			record(buf[op.Var%len(buf)])
+		}
+	}
+	return res
+}
+
+// routeIn routes packets within a region, using torus links when the
+// configuration enables them and the region spans the whole machine.
+func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, dest func(pkt) int) ([][]pkt, int64) {
+	if sim.cfg.Torus && fullMachine {
+		return route.GreedyRouteTorus(sim.M, items, dest)
+	}
+	return route.GreedyRoute(sim.M, r, items, dest)
+}
+
+// sortSnake dispatches to the simulated sorting network or its
+// result-equivalent fast path per configuration.
+func (sim *Simulator) sortSnake(r mesh.Region, items [][]pkt, key func(pkt) uint64) ([][]pkt, int, int64) {
+	if sim.cfg.Sort == route.RotateSort && route.CanRotateSort(r) {
+		return route.SortSnakeWith(route.RotateSort, sim.M, r, items, key)
+	}
+	if sim.cfg.UseNetworkSort {
+		return route.SortSnake(sim.M, r, items, key)
+	}
+	return route.SortSnakeFast(sim.M, r, items, key)
+}
+
+// stageRegions returns the level-s submeshes (full mesh for s = K+1).
+func (sim *Simulator) stageRegions(stage int) []mesh.Region {
+	if stage == sim.S.K+1 {
+		return []mesh.Region{sim.M.Full()}
+	}
+	return sim.S.Tess[stage]
+}
+
+// childParts returns the number of level-(s−1) submeshes inside a
+// level-s submesh.
+func (sim *Simulator) childParts(stage int) int {
+	if stage == sim.S.K+1 {
+		return sim.S.ModCount[sim.S.K]
+	}
+	return sim.S.PagesPer[stage]
+}
+
+// childRegions returns the level-(s−1) submeshes of the pi-th level-s
+// parent, using the global tessellation nesting (child c of parent j is
+// Tess[s−1][j·parts + c]).
+func (sim *Simulator) childRegions(stage, pi int) []mesh.Region {
+	parts := sim.childParts(stage)
+	lower := sim.S.Tess[stage-1]
+	return lower[pi*parts : (pi+1)*parts]
+}
+
+func maxLoadAll(m *mesh.Machine, pkts [][]pkt) int {
+	mx := 0
+	for p := range pkts {
+		if len(pkts[p]) > mx {
+			mx = len(pkts[p])
+		}
+	}
+	return mx
+}
+
+func regionEmpty(m *mesh.Machine, r mesh.Region, pkts [][]pkt) bool {
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			if len(pkts[m.IDOf(row, col)]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mergeBack(m *mesh.Machine, r mesh.Region, pkts, delivered [][]pkt) {
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			pkts[p] = append(pkts[p], delivered[p]...)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshpram/internal/hmos"
+)
+
+// The round-simulated sorting network and the fast path must be
+// indistinguishable end-to-end: identical read results and identical
+// charged step counts over a multi-step session.
+func TestNetworkSortEquivalence(t *testing.T) {
+	run := func(useNetwork bool) ([]Word, int64) {
+		sim := MustNew(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, Config{UseNetworkSort: useNetwork})
+		rng := rand.New(rand.NewSource(99))
+		var out []Word
+		for step := 0; step < 4; step++ {
+			vars := rng.Perm(sim.S.Vars())[:60]
+			ops := make([]Op, len(vars))
+			for i, v := range vars {
+				ops[i] = Op{Origin: rng.Intn(sim.M.N), Var: v, IsWrite: i%3 != 0, Value: Word(v + step)}
+			}
+			res, _ := sim.Step(ops)
+			out = append(out, res...)
+		}
+		return out, sim.M.Steps()
+	}
+	fastRes, fastSteps := run(false)
+	netRes, netSteps := run(true)
+	if fastSteps != netSteps {
+		t.Fatalf("step counts differ: fast %d, network %d", fastSteps, netSteps)
+	}
+	if len(fastRes) != len(netRes) {
+		t.Fatalf("result lengths differ")
+	}
+	for i := range fastRes {
+		if fastRes[i] != netRes[i] {
+			t.Fatalf("results differ at %d: %d vs %d", i, fastRes[i], netRes[i])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"meshpram/internal/hmos"
+)
+
+// Snapshot support: serialize the simulated shared memory (the copy
+// cells of every processor, with timestamps) so long experiments can
+// checkpoint and resume, and so memory images can be moved between a
+// sequential and a parallel-engine simulator.
+
+// snapshot is the gob wire format.
+type snapshot struct {
+	Params hmos.Params
+	Now    int64
+	Procs  []procImage
+}
+
+type procImage struct {
+	Proc  int
+	Slots []int64
+	Vals  []Word
+	TSs   []int64
+}
+
+// Save writes the simulator's memory state (copies, timestamps, and the
+// step clock) to w. Step accounting is not part of the image.
+func (sim *Simulator) Save(w io.Writer) error {
+	img := snapshot{Params: sim.S.Params, Now: sim.now}
+	for p, mem := range sim.store {
+		if len(mem) == 0 {
+			continue
+		}
+		pi := procImage{Proc: p}
+		for slot, c := range mem {
+			pi.Slots = append(pi.Slots, slot)
+			pi.Vals = append(pi.Vals, c.val)
+			pi.TSs = append(pi.TSs, c.ts)
+		}
+		img.Procs = append(img.Procs, pi)
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// Load restores a memory image previously written by Save into this
+// simulator. The HMOS parameters must match exactly (the copy layout is
+// parameter-dependent); the current memory content is replaced.
+func (sim *Simulator) Load(r io.Reader) error {
+	var img snapshot
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	if img.Params != sim.S.Params {
+		return fmt.Errorf("core: snapshot params %+v do not match simulator %+v", img.Params, sim.S.Params)
+	}
+	store := make([]map[int64]cell, sim.M.N)
+	for _, pi := range img.Procs {
+		if pi.Proc < 0 || pi.Proc >= sim.M.N {
+			return fmt.Errorf("core: snapshot processor %d out of range", pi.Proc)
+		}
+		if len(pi.Slots) != len(pi.Vals) || len(pi.Slots) != len(pi.TSs) {
+			return fmt.Errorf("core: snapshot processor %d has ragged slot arrays", pi.Proc)
+		}
+		mem := make(map[int64]cell, len(pi.Slots))
+		for i, slot := range pi.Slots {
+			mem[slot] = cell{val: pi.Vals[i], ts: pi.TSs[i]}
+		}
+		store[pi.Proc] = mem
+	}
+	sim.store = store
+	sim.now = img.Now
+	return nil
+}

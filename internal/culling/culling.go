@@ -1,0 +1,252 @@
+// Package culling implements the CULLING copy-selection procedure of
+// §3.2: k iterations that progressively shrink, for every requested
+// variable v, an initial minimal level-0 target set C_v^0 down to a
+// plain (level-k) target set C_v, while capping the number of selected
+// copies that fall into any level-i page at 2q^k·n^{1−1/2^i} marked
+// copies — which yields the Theorem 3 invariant that no level-i page is
+// addressed by more than 4q^k·n^{1−1/2^i} copies of ∪C_v^i.
+//
+// The procedure is executed by the n mesh processors via sorting and
+// ranking of the ≤ n·q^k copy descriptors; its step cost is
+// O(k·q^k·√n) (equation (2)), charged here as k iterations of one
+// snake sort with block length q^k plus one prefix-sum pass.
+package culling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshpram/internal/hmos"
+	"meshpram/internal/mesh"
+	"meshpram/internal/route"
+)
+
+// Request is one PRAM memory request: the mesh processor Origin wants
+// to access variable Var.
+type Request struct {
+	Origin int
+	Var    int
+}
+
+// SelectedCopy is a copy chosen by culling for the access protocol.
+type SelectedCopy struct {
+	Leaf int // leaf index in T_v
+	Proc int // destination processor
+}
+
+// Result carries the culling output and diagnostics.
+type Result struct {
+	// Selected[r] lists the copies of request r to access (a minimal
+	// plain target set, C_v of the paper).
+	Selected [][]SelectedCopy
+
+	// PageLoad[i] (1 ≤ i ≤ K) maps level-i page index → number of
+	// copies of ∪_v C_v^i in that page after iteration i.
+	PageLoad [][]int
+
+	// Bound[i] = ⌈4·q^k·n^{1−1/2^i}⌉, the Theorem 3 bound at level i.
+	Bound []int
+
+	// Steps is the charged mesh step cost (equation (2) shape).
+	Steps int64
+}
+
+// MaxLoad returns the maximum level-i page load and its bound.
+func (r *Result) MaxLoad(i int) (load, bound int) {
+	for _, l := range r.PageLoad[i] {
+		if l > load {
+			load = l
+		}
+	}
+	return load, r.Bound[i]
+}
+
+// copyRef identifies one candidate copy during the procedure.
+type copyRef struct {
+	req  int32 // request index
+	leaf int32 // leaf in T_{v_req}
+	page int32 // destination page at the current level
+}
+
+// Run executes CULLING for the given request set. Variables must be
+// distinct across requests (the PRAM step semantics of the paper; use
+// combining upstream for concurrent access). It panics on duplicate
+// variables or out-of-range requests.
+func Run(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
+	n := m.N
+	qk := s.Redundant
+	seen := make(map[int]bool, len(reqs))
+	for _, r := range reqs {
+		if r.Var < 0 || r.Var >= s.Vars() {
+			panic(fmt.Sprintf("culling: variable %d out of range", r.Var))
+		}
+		if r.Origin < 0 || r.Origin >= n {
+			panic(fmt.Sprintf("culling: origin %d out of range", r.Origin))
+		}
+		if seen[r.Var] {
+			panic(fmt.Sprintf("culling: duplicate variable %d in request set", r.Var))
+		}
+		seen[r.Var] = true
+	}
+
+	// Precompute copy locations and page indexes per level.
+	copies := make([][]hmos.Copy, len(reqs))
+	pageAt := make([][][]int32, s.K+1) // pageAt[i][r][leaf]
+	for i := 1; i <= s.K; i++ {
+		pageAt[i] = make([][]int32, len(reqs))
+	}
+	for r, rq := range reqs {
+		copies[r] = s.Copies(rq.Var, nil)
+		for i := 1; i <= s.K; i++ {
+			pageAt[i][r] = make([]int32, qk)
+			for leaf, c := range copies[r] {
+				pageAt[i][r][leaf] = int32(s.PageIndex(i, c.Path))
+			}
+		}
+	}
+
+	res := &Result{
+		Selected: make([][]SelectedCopy, len(reqs)),
+		PageLoad: make([][]int, s.K+1),
+		Bound:    make([]int, s.K+1),
+		Steps:    0,
+	}
+
+	// C^0: minimal level-0 target sets.
+	masks := make([][]bool, len(reqs))
+	fullAvail := make([]bool, qk)
+	for i := range fullAvail {
+		fullAvail[i] = true
+	}
+	for r := range reqs {
+		sel, ok := s.SelectTargetSet(0, fullAvail, nil)
+		if !ok {
+			panic("culling: no level-0 target set in full copy tree")
+		}
+		masks[r] = sel
+	}
+
+	full := m.Full()
+	for i := 1; i <= s.K; i++ {
+		cap2 := capAtLevel(2, qk, n, i)
+		res.Bound[i] = capAtLevel(4, qk, n, i)
+
+		// Gather all currently selected copies, grouped by level-i page
+		// ("sort by destination page and rank"): deterministic order by
+		// (page, request, leaf).
+		var refs []copyRef
+		for r := range reqs {
+			for leaf, on := range masks[r] {
+				if on {
+					refs = append(refs, copyRef{req: int32(r), leaf: int32(leaf), page: pageAt[i][r][leaf]})
+				}
+			}
+		}
+		sort.Slice(refs, func(a, b int) bool {
+			if refs[a].page != refs[b].page {
+				return refs[a].page < refs[b].page
+			}
+			if refs[a].req != refs[b].req {
+				return refs[a].req < refs[b].req
+			}
+			return refs[a].leaf < refs[b].leaf
+		})
+
+		// Mark the first cap2 copies of every page.
+		marked := make([][]bool, len(reqs))
+		for r := range reqs {
+			marked[r] = make([]bool, qk)
+		}
+		for j := 0; j < len(refs); {
+			e := j
+			for e < len(refs) && refs[e].page == refs[j].page {
+				e++
+			}
+			lim := j + cap2
+			if lim > e {
+				lim = e
+			}
+			for t := j; t < lim; t++ {
+				marked[refs[t].req][refs[t].leaf] = true
+			}
+			j = e
+		}
+
+		// Shrink each request's mask to a minimal level-i target set,
+		// preferring marked copies (the M_v^i / S_v^i split).
+		for r := range reqs {
+			sel, ok := s.SelectTargetSet(i, masks[r], marked[r])
+			if !ok {
+				// Cannot happen: masks[r] is a minimal level-(i-1)
+				// target set, which always contains a level-i set.
+				panic(fmt.Sprintf("culling: request %d lost its target set at level %d", r, i))
+			}
+			masks[r] = sel
+		}
+
+		// Record loads of ∪C^i per level-i page.
+		loads := make([]int, len(s.Tess[i]))
+		for r := range reqs {
+			for leaf, on := range masks[r] {
+				if on {
+					loads[pageAt[i][r][leaf]]++
+				}
+			}
+		}
+		res.PageLoad[i] = loads
+
+		// Charge the iteration: sort + rank + O(q^k) local extraction.
+		res.Steps += route.SortCost(full, qk)
+		res.Steps += 3*int64(full.W-1) + int64(full.H-1)
+		res.Steps += int64(qk)
+	}
+
+	for r := range reqs {
+		for leaf, on := range masks[r] {
+			if on {
+				res.Selected[r] = append(res.Selected[r], SelectedCopy{Leaf: leaf, Proc: copies[r][leaf].Proc})
+			}
+		}
+	}
+	return res
+}
+
+// SelectWithoutCulling returns, for each request, a minimal plain
+// target set chosen without congestion control — the ablation baseline
+// for experiments E2/E12. Its step cost is zero (purely local choice).
+func SelectWithoutCulling(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
+	qk := s.Redundant
+	res := &Result{
+		Selected: make([][]SelectedCopy, len(reqs)),
+		PageLoad: make([][]int, s.K+1),
+		Bound:    make([]int, s.K+1),
+	}
+	fullAvail := make([]bool, qk)
+	for i := range fullAvail {
+		fullAvail[i] = true
+	}
+	for i := 1; i <= s.K; i++ {
+		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+		res.Bound[i] = capAtLevel(4, qk, m.N, i)
+	}
+	for r, rq := range reqs {
+		sel, _ := s.SelectTargetSet(s.K, fullAvail, nil)
+		copies := s.Copies(rq.Var, nil)
+		for leaf, on := range sel {
+			if on {
+				res.Selected[r] = append(res.Selected[r], SelectedCopy{Leaf: leaf, Proc: copies[leaf].Proc})
+				for i := 1; i <= s.K; i++ {
+					res.PageLoad[i][s.PageIndex(i, copies[leaf].Path)]++
+				}
+			}
+		}
+	}
+	return res
+}
+
+// capAtLevel returns ⌈c·q^k·n^{1−1/2^i}⌉.
+func capAtLevel(c, qk, n, i int) int {
+	exp := 1.0 - 1.0/math.Pow(2, float64(i))
+	return int(math.Ceil(float64(c) * float64(qk) * math.Pow(float64(n), exp)))
+}

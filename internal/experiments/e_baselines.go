@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"meshpram/internal/baseline"
+	"meshpram/internal/core"
+	"meshpram/internal/hmos"
+	"meshpram/internal/stats"
+	"meshpram/internal/workload"
+)
+
+// RunE8 pits the HMOS scheme against the single-copy baseline on the
+// adversarial workload replication exists for: all requests homed on
+// one module/processor.
+func RunE8(w io.Writer, cfg Config) error {
+	p := hmos.Params{Side: 27, Q: 3, D: 5, K: 2}
+	sim, err := core.New(p, core.Config{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	n := sim.Mesh().N
+	nr, err := baseline.NewNoReplication(p.Side, sim.Scheme().Vars())
+	if err != nil {
+		return err
+	}
+
+	var tb stats.Table
+	tb.Add("workload", "scheme", "steps", "access phase (serialization)")
+
+	// Part A — the asymptotic driver. Give the single-copy scheme the
+	// paper's largest memory, M = n², and request n variables all homed
+	// on one processor: the access phase serializes the whole batch
+	// (Θ(n)), while the HMOS access phase is bounded by
+	// δ_0 = O(q^k·min(√n, n^{α−1})) regardless of the request set.
+	nrBig, err := baseline.NewNoReplication(p.Side, n*n)
+	if err != nil {
+		return err
+	}
+	hotVars := nrBig.VarsOnProc(nrBig.Home(0), n)
+	opsA := make([]baseline.Op, len(hotVars))
+	for i, v := range hotVars {
+		opsA[i] = baseline.Op{Origin: i % n, Var: v}
+	}
+	_, nrCostA := nrBig.Step(opsA)
+	tb.Add(fmt.Sprintf("proc-hot, M=n² (%d reqs)", len(hotVars)), "single-copy", nrCostA.Total(), nrCostA.Access)
+	delta0 := sim.Scheme().CopiesPerVar() * minInt(p.Side, powInt(n, sim.Scheme().Alpha()-1))
+	tb.Add(fmt.Sprintf("proc-hot, M=n² (%d reqs)", len(hotVars)),
+		fmt.Sprintf("HMOS guarantee: access ≤ δ0 ≈ %d", delta0), "-", "-")
+
+	// Part B — same memory (M = n^α), worst sets each scheme admits.
+	// Adversarial for the logical modules: all requests share a level-1
+	// module of the HMOS.
+	modVars := workload.ModuleHot(sim.Scheme(), 1, n)
+	ops2 := make([]baseline.Op, len(modVars))
+	cops2 := make([]core.Op, len(modVars))
+	for i, v := range modVars {
+		ops2[i] = baseline.Op{Origin: i % n, Var: v}
+		cops2[i] = core.Op{Origin: i % n, Var: v}
+	}
+	_, nrCost2 := nr.Step(ops2)
+	_, hmCost2 := sim.Step(cops2)
+	tb.Add("module-hot (HMOS stress)", "single-copy", nrCost2.Total(), nrCost2.Access)
+	tb.Add("module-hot (HMOS stress)", "HMOS (paper)", hmCost2.Total(), hmCost2.Access)
+
+	// Uniform random, for scale.
+	rv := workload.RandomDistinct(sim.Scheme().Vars(), n, cfg.Seed)
+	ops3 := make([]baseline.Op, len(rv))
+	for i, v := range rv {
+		ops3[i] = baseline.Op{Origin: i % n, Var: v}
+	}
+	_, nrCost3 := nr.Step(ops3)
+	_, hmCost3 := sim.Step(rv.Reads())
+	tb.Add("uniform random", "single-copy", nrCost3.Total(), nrCost3.Access)
+	tb.Add("uniform random", "HMOS (paper)", hmCost3.Total(), hmCost3.Access)
+
+	tb.Render(w)
+	fmt.Fprintln(w, "\n  On its worst case (part A) the single-copy scheme serializes the whole")
+	fmt.Fprintln(w, "  batch in one module — Θ(n) no matter how good the routing — which is the")
+	fmt.Fprintln(w, "  lower-bound argument motivating replication. The HMOS access phase is")
+	fmt.Fprintln(w, "  bounded by δ_0 for EVERY request set (part B shows its own worst case);")
+	fmt.Fprintln(w, "  its larger totals at these small n are the k·q^k·√n·log n sorting fee,")
+	fmt.Fprintln(w, "  which the adversary cannot inflate.")
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func powInt(n int, e float64) int {
+	return int(math.Pow(float64(n), e))
+}
+
+// RunE10 compares memory-map storage: the constructive scheme stores a
+// handful of integers per processor, the random-graph organization a
+// Θ(M·(2c−1)) placement table (Herley's space-inefficiency critique).
+func RunE10(w io.Writer, cfg Config) error {
+	rows := []hmos.Params{
+		{Side: 27, Q: 3, D: 4, K: 2},
+		{Side: 27, Q: 3, D: 5, K: 2},
+		{Side: 81, Q: 3, D: 7, K: 2},
+	}
+	var tb stats.Table
+	tb.Add("M (vars)", "n", "scheme", "map bytes total", "bytes/processor")
+	for _, p := range rows {
+		s, err := hmos.New(p)
+		if err != nil {
+			return err
+		}
+		hb := s.MapBytes()
+		tb.Add(s.Vars(), s.N, fmt.Sprintf("HMOS q=%d k=%d (implicit)", p.Q, p.K), hb*int64(s.N), hb)
+		rm, err := baseline.NewRandomMOS(p.Side, s.Vars(), 2, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		tb.Add(s.Vars(), s.N, "random MOS c=2 (explicit table)", rm.MapBytes(), rm.MapBytes()/int64(s.N))
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "\n  The constructive map is O(q^k + k) words per processor regardless of M;")
+	fmt.Fprintln(w, "  the random-graph map grows linearly with the shared memory.")
+	return nil
+}
+
+// RunE11 replays a random read/write trace against an ideal shared
+// memory and reports whether the mesh simulation ever diverged.
+func RunE11(w io.Writer, cfg Config) error {
+	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
+	sim, err := core.New(p, core.Config{Workers: cfg.Workers})
+	if err != nil {
+		return err
+	}
+	ideal := map[int]core.Word{}
+	checks, failures := 0, 0
+	for step := 0; step < 40; step++ {
+		vars := workload.RandomDistinct(sim.Scheme().Vars(), 40, cfg.Seed+int64(step))
+		ops := vars.Mixed(core.Word(step * 1000))
+		res, _ := sim.Step(ops)
+		for i, op := range ops {
+			if !op.IsWrite {
+				checks++
+				if res[i] != ideal[op.Var] {
+					failures++
+				}
+			}
+		}
+		for _, op := range ops {
+			if op.IsWrite {
+				ideal[op.Var] = op.Value
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %d reads checked against an ideal PRAM, %d divergences\n", checks, failures)
+	if failures > 0 {
+		return fmt.Errorf("consistency violated %d times", failures)
+	}
+	fmt.Fprintln(w, "  PASS: the hierarchical majority rule always returned the last write.")
+	return nil
+}
+
+// RunE12 ablates the two design choices of the access path: culling and
+// staged routing.
+func RunE12(w io.Writer, cfg Config) error {
+	p := hmos.Params{Side: 27, Q: 3, D: 5, K: 2}
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"paper (culling + staged)", core.Config{Workers: cfg.Workers}},
+		{"no culling", core.Config{DisableCulling: true, Workers: cfg.Workers}},
+		{"direct routing", core.Config{DirectRouting: true, Workers: cfg.Workers}},
+		{"no culling + direct", core.Config{DisableCulling: true, DirectRouting: true, Workers: cfg.Workers}},
+	}
+	var tb stats.Table
+	tb.Add("variant", "workload", "culling", "sort", "forward", "return", "access", "total")
+	for _, v := range variants {
+		sim, err := core.New(p, v.cfg)
+		if err != nil {
+			return err
+		}
+		n := sim.Mesh().N
+		for _, wl := range []struct {
+			name string
+			vars workload.Vars
+		}{
+			{"random", workload.RandomDistinct(sim.Scheme().Vars(), n, cfg.Seed)},
+			{"modulehot", workload.ModuleHot(sim.Scheme(), 2, n)},
+		} {
+			_, st := sim.Step(wl.vars.Reads())
+			tb.Add(v.name, wl.name, st.Culling, st.Sort, st.Forward, st.Return, st.Access, st.Total())
+		}
+	}
+	tb.Render(w)
+	fmt.Fprintln(w, "\n  Culling pays a fixed k·q^k·sqrt(n) fee that buys bounded page loads;")
+	fmt.Fprintln(w, "  staged routing converts receiver congestion into balanced submesh hops.")
+	return nil
+}

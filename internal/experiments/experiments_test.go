@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallCfg() Config { return Config{Big: false, Workers: 1, Seed: 1} }
+
+// Every experiment must run to completion and produce a table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && (e.ID == "E1" || e.ID == "E9" || e.ID == "E15" || e.ID == "E17") {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			var sb strings.Builder
+			if err := e.Run(&sb, smallCfg()); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(sb.String()) < 50 {
+				t.Fatalf("%s produced no meaningful output", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E5"); !ok {
+		t.Fatal("E5 missing")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("E99 found")
+	}
+}
+
+func TestIDsUniqueAndOrdered(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Claim == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+	if len(All) != 18 {
+		t.Fatalf("%d experiments, want 18 (DESIGN.md §4)", len(All))
+	}
+}
+
+func TestMeasureSlowdownSmall(t *testing.T) {
+	pt, err := measureSlowdown(e1Params(false)[0], smallCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.steps <= 0 || pt.alpha <= 1 {
+		t.Fatalf("point %+v", pt)
+	}
+}

@@ -1,0 +1,308 @@
+// Package hmos implements the Hierarchical Memory Organization Scheme
+// of §3.1: k levels of logical modules connected by BIBD subgraphs,
+// the q-ary copy trees T_v, the level-i page identities, and the
+// physical mapping of pages onto nested submesh tessellations (§3.3).
+//
+// Sizes follow the paper exactly: the shared memory has
+// M = f(d) = q^{d-1}(q^d−1)/(q−1) variables (the level-0 modules),
+// |U_i| = q^{d_i} level-i modules with d_1 = d and
+// d_{i+1} = ⌈d_i/2⌉ + 1, and each level-(i−1) module is replicated into
+// q pages stored in distinct level-i modules according to a balanced
+// subgraph of a (q^{d_i}, q)-BIBD. Every variable therefore has q^k
+// copies, the leaves of its copy tree T_v, addressed by the vector of
+// edge indices (x_1, …, x_k) ∈ GF(q)^k.
+//
+// Because level 1 uses the full BIBD (|U_0| = f(d_1) exactly) and for
+// i ≥ 2 the ratio q·m_{i−1}/m_i = q^{d_{i−1}−d_i+1} is a power of q,
+// every module of a level has exactly the same number of pages, so the
+// tessellations of the mesh are exact and all page submeshes of a level
+// are congruent.
+//
+// The memory map is implicit: locating any copy is O(k) arithmetic on
+// the BIBD adjacency (see internal/bibd), which realizes the paper's
+// claim of constant internal storage per processor.
+package hmos
+
+import (
+	"fmt"
+	"math"
+
+	"meshpram/internal/bibd"
+	"meshpram/internal/gf"
+	"meshpram/internal/mesh"
+)
+
+// Params selects an HMOS instance.
+type Params struct {
+	Side int // mesh side; n = Side²
+	Q    int // prime power ≥ 3 (copies per replication step)
+	D    int // d_1: memory size is f(Q, D) variables
+	K    int // number of levels, ≥ 1
+}
+
+// Scheme is a constructed HMOS bound to a mesh geometry.
+type Scheme struct {
+	Params
+	F    *gf.Field
+	N    int // processors
+	mach *mesh.Machine
+
+	M  int   // number of variables = f(Q, D)
+	Ds []int // Ds[i] = d_{i+1} for i = 0..K-1 (Ds[0] = D)
+
+	// Graphs[i] is the bipartite graph between U_i and U_{i+1}
+	// (i = 0..K-1): a balanced subgraph of a (q^{d_{i+1}}, q)-BIBD with
+	// ModCount[i] inputs.
+	Graphs []*bibd.Design
+
+	ModCount  []int // ModCount[i] = m_i = |U_i|, i = 0..K
+	PagesPer  []int // PagesPer[i] = p_i for i = 1..K (index 0 unused): level-(i-1) pages per level-i module
+	Redundant int   // q^K copies per variable
+
+	// Tess[i], i = 1..K, is the level-i tessellation: one region per
+	// level-i page, indexed by PageIndex. Tess[0] is unused (level-0
+	// "pages" are copies living inside level-1 regions).
+	Tess [][]mesh.Region
+
+	// T[i] = processors per level-i submesh (paper's t_i), i = 1..K.
+	T []int
+
+	qPowK []int // q^0..q^K
+}
+
+// New constructs and validates an HMOS instance over the given mesh.
+func New(p Params) (*Scheme, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("hmos: k=%d must be ≥ 1", p.K)
+	}
+	if p.D < 2 {
+		return nil, fmt.Errorf("hmos: d=%d must be ≥ 2", p.D)
+	}
+	if p.Q < 3 {
+		return nil, fmt.Errorf("hmos: q=%d must be ≥ 3 (majority quorum needs ⌊q/2⌋+2 ≤ q)", p.Q)
+	}
+	f, err := gf.New(p.Q)
+	if err != nil {
+		return nil, fmt.Errorf("hmos: %w", err)
+	}
+	m, err := mesh.New(p.Side)
+	if err != nil {
+		return nil, fmt.Errorf("hmos: %w", err)
+	}
+	s := &Scheme{Params: p, F: f, N: m.N, mach: m}
+
+	// Level dimensions d_1..d_k and module counts m_0..m_k.
+	s.Ds = make([]int, p.K)
+	s.Ds[0] = p.D
+	for i := 1; i < p.K; i++ {
+		s.Ds[i] = (s.Ds[i-1]+1)/2 + 1
+	}
+	s.M = bibd.F(p.Q, p.D)
+	s.ModCount = make([]int, p.K+1)
+	s.ModCount[0] = s.M
+	for i := 1; i <= p.K; i++ {
+		s.ModCount[i] = ipow(p.Q, s.Ds[i-1])
+	}
+
+	// Inter-level graphs.
+	s.Graphs = make([]*bibd.Design, p.K)
+	for i := 0; i < p.K; i++ {
+		g, err := bibd.NewSub(f, s.Ds[i], s.ModCount[i])
+		if err != nil {
+			return nil, fmt.Errorf("hmos: level %d graph: %w", i+1, err)
+		}
+		s.Graphs[i] = g
+	}
+
+	// Pages per module. Uniform by construction; verify.
+	s.PagesPer = make([]int, p.K+1)
+	for i := 1; i <= p.K; i++ {
+		lo := p.Q * s.ModCount[i-1] / s.ModCount[i]
+		if p.Q*s.ModCount[i-1]%s.ModCount[i] != 0 {
+			return nil, fmt.Errorf("hmos: level %d pages per module %d/%d not integral",
+				i, p.Q*s.ModCount[i-1], s.ModCount[i])
+		}
+		s.PagesPer[i] = lo
+	}
+
+	// Tessellations. totalParts[i] = number of level-i pages; must be a
+	// power of q dividing the mesh.
+	s.Tess = make([][]mesh.Region, p.K+1)
+	s.T = make([]int, p.K+1)
+	full := m.Full()
+	parts := 1
+	for i := p.K; i >= 1; i-- {
+		if i == p.K {
+			parts = s.ModCount[p.K]
+		} else {
+			parts *= s.PagesPer[i+1]
+		}
+		regs, err := full.SplitQ(p.Q, parts)
+		if err != nil {
+			return nil, fmt.Errorf("hmos: level-%d tessellation (%d parts on %d×%d mesh): %w",
+				i, parts, p.Side, p.Side, err)
+		}
+		if s.N%parts != 0 {
+			return nil, fmt.Errorf("hmos: %d level-%d pages do not divide n=%d", parts, i, s.N)
+		}
+		s.Tess[i] = regs
+		s.T[i] = s.N / parts
+	}
+	if s.T[1] < 1 {
+		return nil, fmt.Errorf("hmos: t_1 = %d < 1 (memory too large for this mesh: α > 2(1-(k-1)/log_q n))", s.T[1])
+	}
+
+	s.qPowK = make([]int, p.K+1)
+	s.qPowK[0] = 1
+	for i := 1; i <= p.K; i++ {
+		s.qPowK[i] = s.qPowK[i-1] * p.Q
+	}
+	s.Redundant = s.qPowK[p.K]
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p Params) *Scheme {
+	s, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Vars returns the number of shared-memory variables M.
+func (s *Scheme) Vars() int { return s.M }
+
+// Alpha returns log(M)/log(n), the memory-size exponent.
+func (s *Scheme) Alpha() float64 {
+	return logf(float64(s.M)) / logf(float64(s.N))
+}
+
+// CopiesPerVar returns q^k.
+func (s *Scheme) CopiesPerVar() int { return s.Redundant }
+
+// CopiesPerLevel1Page returns p_1, the number of variable copies stored
+// in one level-1 page.
+func (s *Scheme) CopiesPerLevel1Page() int { return s.PagesPer[1] }
+
+// MapBytes returns the storage a processor needs to evaluate the whole
+// memory map: the scheme parameters plus four integers per level
+// (d_i, m_i, p_i, t_i) — independent of the memory size M, which is the
+// constructivity pay-off measured by experiment E10.
+func (s *Scheme) MapBytes() int64 { return int64(8 * (6 + 4*s.K)) }
+
+// Copy identifies one replica of a variable, fully located.
+type Copy struct {
+	Var  int // variable index
+	Leaf int // leaf index in T_v: Σ x_j · q^{k-j}, x_1 most significant
+
+	// Path[i] = l_{i+1}: the level-(i+1) module on the leaf-to-root
+	// path, i = 0..K-1.
+	Path []int
+
+	Proc int   // processor storing the copy
+	Slot int64 // globally unique copy id: Var·q^k + Leaf
+}
+
+// LeafOf composes a leaf index from edge digits x (x[0] = x_1 taken at
+// the root).
+func (s *Scheme) LeafOf(x []int) int {
+	leaf := 0
+	for _, xi := range x {
+		leaf = leaf*s.Q + xi
+	}
+	return leaf
+}
+
+// DigitsOf decomposes a leaf index into edge digits (inverse of LeafOf).
+func (s *Scheme) DigitsOf(leaf int) []int {
+	x := make([]int, s.K)
+	for j := s.K - 1; j >= 0; j-- {
+		x[j] = leaf % s.Q
+		leaf /= s.Q
+	}
+	return x
+}
+
+// CopyAt locates the copy of variable v at the given leaf of T_v.
+func (s *Scheme) CopyAt(v, leaf int) Copy {
+	if v < 0 || v >= s.M {
+		panic(fmt.Sprintf("hmos: variable %d out of range [0,%d)", v, s.M))
+	}
+	if leaf < 0 || leaf >= s.Redundant {
+		panic(fmt.Sprintf("hmos: leaf %d out of range [0,%d)", leaf, s.Redundant))
+	}
+	x := s.DigitsOf(leaf)
+	path := make([]int, s.K)
+	cur := v
+	for i := 0; i < s.K; i++ {
+		h, a, b := s.Graphs[i].Split(cur)
+		cur = s.Graphs[i].OutputAt(h, a, b, x[i])
+		path[i] = cur
+	}
+	c := Copy{Var: v, Leaf: leaf, Path: path, Slot: int64(v)*int64(s.Redundant) + int64(leaf)}
+	c.Proc = s.procOf(v, path)
+	return c
+}
+
+// Copies returns all q^k copies of variable v, appended to dst.
+func (s *Scheme) Copies(v int, dst []Copy) []Copy {
+	for leaf := 0; leaf < s.Redundant; leaf++ {
+		dst = append(dst, s.CopyAt(v, leaf))
+	}
+	return dst
+}
+
+// PageIndex returns the index (into Tess[level]) of the level-`level`
+// page holding a copy with the given path, for 1 ≤ level ≤ K. The index
+// composes the canonical SplitQ child digits: the level-k module id
+// first, then, at each level lev below k, the rank of module
+// path[lev-1] among the inputs of its parent path[lev] in the
+// inter-level graph Graphs[lev] — exactly the order in which SplitQ
+// enumerates nested subregions, so Tess[level][PageIndex(level, path)]
+// is the page's submesh.
+func (s *Scheme) PageIndex(level int, path []int) int {
+	if level < 1 || level > s.K {
+		panic(fmt.Sprintf("hmos: level %d out of range [1,%d]", level, s.K))
+	}
+	idx := path[s.K-1] // level-k module id
+	for lev := s.K - 1; lev >= level; lev-- {
+		child := s.Graphs[lev].RankOfInput(path[lev], path[lev-1])
+		idx = idx*s.PagesPer[lev+1] + child
+	}
+	return idx
+}
+
+// Mesh returns the machine geometry the scheme is bound to. The
+// returned machine is shared; callers should not charge steps to it
+// (create their own mesh.Machine for accounting).
+func (s *Scheme) Mesh() *mesh.Machine { return s.mach }
+
+// procOf computes the processor storing the copy of v with the given
+// path: descend the tessellations to the level-1 page region, then
+// place copy slot r_1 = rank of v among the page's p_1 copies at snake
+// position r_1 mod t_1 (copies evenly distributed over the page's
+// processors, §3.3).
+func (s *Scheme) procOf(v int, path []int) int {
+	reg1 := s.Tess[1][s.PageIndex(1, path)]
+	r1 := s.Graphs[0].RankOfInput(path[0], v)
+	return reg1.ProcAtSnake(s.mach, r1%s.T[1])
+}
+
+// SlotWithinPage returns the slot of variable v's copy inside its
+// level-1 page (its rank among the page's p_1 copies) and the local
+// index on the processor.
+func (s *Scheme) SlotWithinPage(v int, path []int) (slot, local int) {
+	r1 := s.Graphs[0].RankOfInput(path[0], v)
+	return r1, r1 / s.T[1]
+}
+
+func ipow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func logf(x float64) float64 { return math.Log(x) }

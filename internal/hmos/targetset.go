@@ -1,0 +1,166 @@
+package hmos
+
+import "fmt"
+
+// Copy-tree quorum logic (Definition 2 and §3.2).
+//
+// The copies of a variable form a complete q-ary tree T_v of k+1
+// levels: the root (level 0) is the variable, leaves (level k) are the
+// copies. A leaf is accessed when its copy is reached; an internal node
+// is accessed when a majority (⌊q/2⌋+1) of its children is accessed.
+// CULLING works with the stronger notion of *extensive access at level
+// i*: internal nodes at tree levels ≥ i require ⌊q/2⌋+2 accessed
+// children, nodes at levels < i the plain majority. A level-i target
+// set is a leaf set granting the root extensive access at level i; a
+// level-k target set is a plain target set.
+//
+// Any two plain target sets intersect (2(⌊q/2⌋+1) > q at every node, by
+// induction), which is what makes timestamped majority reads see the
+// latest write.
+
+// Majority returns ⌊q/2⌋+1.
+func Majority(q int) int { return q/2 + 1 }
+
+// Extensive returns ⌊q/2⌋+2 (requires q ≥ 3 to be ≤ q).
+func Extensive(q int) int { return q/2 + 2 }
+
+// threshold returns the child quorum of an internal node at tree level
+// j for level-i target sets.
+func threshold(q, i, j int) int {
+	if j < i {
+		return Majority(q)
+	}
+	return Extensive(q)
+}
+
+// MinTargetSetSize returns the size of a minimal level-i target set:
+// Majority^i · Extensive^(k−i) leaves.
+func MinTargetSetSize(q, k, i int) int {
+	n := 1
+	for j := 0; j < k; j++ {
+		n *= threshold(q, i, j)
+	}
+	return n
+}
+
+const inf = int64(1) << 60
+
+// SelectTargetSet extracts a minimal level-i target set for a variable
+// from the available leaves, preferring the leaves marked preferred
+// (CULLING's M_v^i): among all minimal level-i target sets contained in
+// avail it selects one using the fewest non-preferred leaves, via a
+// bottom-up cost DP over T_v. preferred may be nil (no preference). It
+// returns nil, false if avail contains no level-i target set.
+//
+// avail and preferred are indexed by leaf (length q^k); the result is a
+// fresh leaf mask.
+func (s *Scheme) SelectTargetSet(i int, avail, preferred []bool) ([]bool, bool) {
+	q, k := s.Q, s.K
+	if len(avail) != s.Redundant {
+		panic(fmt.Sprintf("hmos: avail mask has length %d, want %d", len(avail), s.Redundant))
+	}
+	var costFn func(j, base int) int64
+	costFn = func(j, base int) int64 {
+		if j == k {
+			if !avail[base] {
+				return inf
+			}
+			if preferred != nil && preferred[base] {
+				return 0
+			}
+			return 1
+		}
+		span := s.qPowK[k-j-1]
+		t := threshold(q, i, j)
+		costs := make([]int64, q)
+		for c := 0; c < q; c++ {
+			costs[c] = costFn(j+1, base+c*span)
+		}
+		return sumSmallest(costs, t)
+	}
+	if costFn(0, 0) >= inf {
+		return nil, false
+	}
+	sel := make([]bool, s.Redundant)
+	var pick func(j, base int)
+	pick = func(j, base int) {
+		if j == k {
+			sel[base] = true
+			return
+		}
+		span := s.qPowK[k-j-1]
+		t := threshold(q, i, j)
+		type cc struct {
+			c    int
+			cost int64
+		}
+		cs := make([]cc, q)
+		for c := 0; c < q; c++ {
+			cs[c] = cc{c, costFn(j+1, base+c*span)}
+		}
+		// Stable selection of the t cheapest children (ties by index).
+		for picked := 0; picked < t; picked++ {
+			best := -1
+			for c := 0; c < q; c++ {
+				if cs[c].cost >= inf || cs[c].c < 0 {
+					continue
+				}
+				if best == -1 || cs[c].cost < cs[best].cost {
+					best = c
+				}
+			}
+			pick(j+1, base+cs[best].c*span)
+			cs[best].c = -1 // consumed
+		}
+	}
+	pick(0, 0)
+	return sel, true
+}
+
+// IsTargetSet reports whether the leaf mask grants the root extensive
+// access at level i (i = K for a plain target set).
+func (s *Scheme) IsTargetSet(i int, sel []bool) bool {
+	q, k := s.Q, s.K
+	var ok func(j, base int) bool
+	ok = func(j, base int) bool {
+		if j == k {
+			return sel[base]
+		}
+		span := s.qPowK[k-j-1]
+		cnt := 0
+		for c := 0; c < q; c++ {
+			if ok(j+1, base+c*span) {
+				cnt++
+			}
+		}
+		return cnt >= threshold(q, i, j)
+	}
+	return ok(0, 0)
+}
+
+// AccessedRoot reports whether the leaf mask accesses the root under
+// the plain majority rule of Definition 2 (equivalent to IsTargetSet
+// with i = K).
+func (s *Scheme) AccessedRoot(sel []bool) bool { return s.IsTargetSet(s.K, sel) }
+
+// sumSmallest returns the sum of the t smallest values, or inf if fewer
+// than t are finite.
+func sumSmallest(costs []int64, t int) int64 {
+	// Insertion-select for tiny q.
+	tmp := append([]int64(nil), costs...)
+	for i := 0; i < len(tmp); i++ {
+		for j := i + 1; j < len(tmp); j++ {
+			if tmp[j] < tmp[i] {
+				tmp[i], tmp[j] = tmp[j], tmp[i]
+			}
+		}
+	}
+	var sum int64
+	for i := 0; i < t; i++ {
+		if tmp[i] >= inf {
+			return inf
+		}
+		sum += tmp[i]
+	}
+	return sum
+}

@@ -1,0 +1,145 @@
+// Package mesh models the target machine of the paper: a synchronous
+// n-node square mesh where each processor owns a local memory module
+// and is connected to at most four neighbors by point-to-point links.
+//
+// The package provides the machine (step accounting + an optional
+// goroutine-parallel execution engine) and the geometry: rectangular
+// regions (submeshes), snake-order indexing inside a region, and the
+// recursive q-ary tessellations that carry the HMOS levels (§3.3 of the
+// paper: "different levels correspond to different tessellations of the
+// mesh into disjoint submeshes").
+//
+// Cost model (see DESIGN.md §6): one step = every processor may do O(1)
+// local work and exchange one word with each neighbor. Algorithms in
+// internal/route charge their executed rounds to the machine via
+// AddSteps; the machine itself never moves data.
+package mesh
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Machine is an s×s mesh of processors identified by id = row*Side+col.
+type Machine struct {
+	Side int // s
+	N    int // s·s
+
+	steps atomic.Int64
+
+	workers int // parallel engine width; ≤ 1 means sequential
+}
+
+// New creates a mesh with the given side length (s ≥ 1).
+func New(side int) (*Machine, error) {
+	if side < 1 {
+		return nil, fmt.Errorf("mesh: side %d must be ≥ 1", side)
+	}
+	return &Machine{Side: side, N: side * side, workers: 1}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(side int) *Machine {
+	m, err := New(side)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetParallel configures the execution engine: workers ≤ 1 selects the
+// deterministic sequential engine; workers > 1 runs ForEach supersteps
+// on that many goroutines (workers = 0 picks GOMAXPROCS). Step counts
+// are identical in both engines; only wall-clock time differs.
+func (m *Machine) SetParallel(workers int) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m.workers = workers
+}
+
+// Workers returns the configured engine width.
+func (m *Machine) Workers() int { return m.workers }
+
+// AddSteps charges n machine steps (n ≥ 0).
+func (m *Machine) AddSteps(n int64) {
+	if n < 0 {
+		panic("mesh: negative step charge")
+	}
+	m.steps.Add(n)
+}
+
+// Steps returns the total steps charged so far.
+func (m *Machine) Steps() int64 { return m.steps.Load() }
+
+// ResetSteps zeroes the step counter and returns the previous value.
+func (m *Machine) ResetSteps() int64 { return m.steps.Swap(0) }
+
+// RowOf returns the row of processor p.
+func (m *Machine) RowOf(p int) int { return p / m.Side }
+
+// ColOf returns the column of processor p.
+func (m *Machine) ColOf(p int) int { return p % m.Side }
+
+// IDOf returns the processor at (row, col).
+func (m *Machine) IDOf(row, col int) int { return row*m.Side + col }
+
+// Dist returns the Manhattan distance between processors p and r.
+func (m *Machine) Dist(p, r int) int {
+	dr := m.RowOf(p) - m.RowOf(r)
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := m.ColOf(p) - m.ColOf(r)
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr + dc
+}
+
+// Full returns the region covering the whole mesh.
+func (m *Machine) Full() Region { return Region{R0: 0, C0: 0, H: m.Side, W: m.Side} }
+
+// ForEach runs fn(p) for every processor p in [0, N), using the
+// configured engine. fn invocations must touch disjoint per-processor
+// state (the superstep discipline); the parallel engine does not order
+// them.
+func (m *Machine) ForEach(fn func(p int)) {
+	m.ForRange(0, m.N, fn)
+}
+
+// ForRange runs fn(i) for i in [lo, hi) using the configured engine.
+func (m *Machine) ForRange(lo, hi int, fn func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if m.workers <= 1 || n < 256 {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + m.workers - 1) / m.workers
+	for w := 0; w < m.workers; w++ {
+		a := lo + w*chunk
+		b := a + chunk
+		if a >= hi {
+			break
+		}
+		if b > hi {
+			b = hi
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			for i := a; i < b; i++ {
+				fn(i)
+			}
+		}(a, b)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,183 @@
+// Package mpc implements the Module Parallel Computer — the idealized
+// complete-interconnection machine of [MV84] and [PP93a] on which the
+// paper's memory organization was first developed, and against which
+// the mesh result must be read: on the MPC only *memory contention*
+// costs time (routing is free), so the MPC simulation isolates the
+// contention component that the mesh protocol pays on top of its
+// routing. [PP93a] achieves O(√n) worst-case access time for a shared
+// memory of n² variables with constant redundancy; this package
+// reproduces that scheme's structure (the same (q^d, q)-BIBD memory
+// map, majority quorums, timestamps) with a greedy least-loaded copy
+// selection, and measures the resulting module congestion.
+//
+// Machine model: n processors, each owning one memory module, fully
+// connected. In one step every processor may send one request and every
+// module may serve one request; a batch of requests therefore costs
+// max-over-modules of the number of requests addressed to the module
+// (plus one round-trip), which is the quantity [PP93a] bounds by
+// O(√n).
+package mpc
+
+import (
+	"fmt"
+
+	"meshpram/internal/bibd"
+	"meshpram/internal/gf"
+)
+
+// Word is the machine word.
+type Word = int64
+
+// Op is one processor's request (mirrors core.Op).
+type Op struct {
+	Origin  int
+	Var     int
+	IsWrite bool
+	Value   Word
+}
+
+// Machine is an n-processor MPC with a BIBD-replicated shared memory.
+type Machine struct {
+	N int // processors = modules
+	Q int // copies per variable
+	D int // modules m = q^d must equal N
+
+	G *bibd.Design // variables → modules (full BIBD)
+
+	store []map[int64]cell
+	now   int64
+}
+
+type cell struct {
+	val Word
+	ts  int64
+}
+
+// StepStats reports the cost decomposition of one MPC step.
+type StepStats struct {
+	Requests   int   // copy requests issued
+	MaxLoad    int   // max requests on one module = serving rounds
+	SqrtNBound int   // c·√n reference line of [PP93a]
+	Steps      int64 // charged: MaxLoad + 2 (request + reply round)
+}
+
+// New creates an MPC with n = q^d modules and a shared memory of
+// f(q, d) variables replicated q-fold by the [PP93a] BIBD.
+func New(q, d int) (*Machine, error) {
+	if q < 3 {
+		return nil, fmt.Errorf("mpc: q=%d must be ≥ 3 for majority quorums", q)
+	}
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, err
+	}
+	g, err := bibd.New(f, d)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{N: g.Outputs(), Q: q, D: d, G: g}
+	m.store = make([]map[int64]cell, m.N)
+	return m, nil
+}
+
+// Vars returns the number of shared variables, f(q, d) ∈ Θ(n²).
+func (m *Machine) Vars() int { return m.G.Inputs() }
+
+// Majority returns the quorum size ⌊q/2⌋+1.
+func (m *Machine) Majority() int { return m.Q/2 + 1 }
+
+// Step executes one batch of distinct-variable requests: each selects a
+// majority of its q copies by greedy least-loaded module assignment
+// (the balancing step of [PP93a]); modules serve one request per round;
+// reads return the copy with the newest timestamp. It returns results
+// aligned with ops and the step statistics.
+func (m *Machine) Step(ops []Op) ([]Word, *StepStats) {
+	m.now++
+	st := &StepStats{}
+	load := make([]int, m.N)
+	type sel struct {
+		module int
+		slot   int64
+	}
+	chosen := make([][]sel, len(ops))
+	seen := make(map[int]bool, len(ops))
+	var mods []int
+	for i, op := range ops {
+		if op.Var < 0 || op.Var >= m.Vars() {
+			panic(fmt.Sprintf("mpc: variable %d out of range", op.Var))
+		}
+		if seen[op.Var] {
+			panic(fmt.Sprintf("mpc: duplicate variable %d", op.Var))
+		}
+		seen[op.Var] = true
+		mods = m.G.OutputsOf(op.Var, mods[:0])
+		// Greedy: pick the majority of copies with the lightest
+		// current loads (ties by module id for determinism).
+		maj := m.Majority()
+		pick := make([]int, 0, maj)
+		used := make(map[int]bool, maj)
+		for len(pick) < maj {
+			best := -1
+			for _, u := range mods {
+				if used[u] {
+					continue
+				}
+				if best == -1 || load[u] < load[best] || (load[u] == load[best] && u < best) {
+					best = u
+				}
+			}
+			used[best] = true
+			pick = append(pick, best)
+		}
+		for _, u := range pick {
+			x := m.G.EdgeIndex(op.Var, u)
+			chosen[i] = append(chosen[i], sel{module: u, slot: int64(op.Var)*int64(m.Q) + int64(x)})
+			load[u]++
+			st.Requests++
+		}
+	}
+	for _, l := range load {
+		if l > st.MaxLoad {
+			st.MaxLoad = l
+		}
+	}
+	st.SqrtNBound = isqrtCeil(m.N)
+	st.Steps = int64(st.MaxLoad) + 2
+
+	// Serve: writes stamp, reads gather newest.
+	res := make([]Word, len(ops))
+	for i, op := range ops {
+		if op.IsWrite {
+			for _, s := range chosen[i] {
+				if m.store[s.module] == nil {
+					m.store[s.module] = make(map[int64]cell)
+				}
+				m.store[s.module][s.slot] = cell{val: op.Value, ts: m.now}
+			}
+			res[i] = op.Value
+			continue
+		}
+		var best cell
+		bestTS := int64(-1)
+		for _, s := range chosen[i] {
+			var c cell
+			if m.store[s.module] != nil {
+				c = m.store[s.module][s.slot]
+			}
+			if c.ts > bestTS {
+				bestTS = c.ts
+				best = c
+			}
+		}
+		res[i] = best.val
+	}
+	return res, st
+}
+
+func isqrtCeil(n int) int {
+	v := 0
+	for v*v < n {
+		v++
+	}
+	return v
+}

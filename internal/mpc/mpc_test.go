@@ -1,0 +1,167 @@
+package mpc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2, 3); err == nil {
+		t.Error("q=2 accepted")
+	}
+	if _, err := New(6, 2); err == nil {
+		t.Error("q=6 accepted")
+	}
+	m, err := New(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 81 || m.Vars() != 1080 {
+		t.Fatalf("n=%d vars=%d", m.N, m.Vars())
+	}
+	if m.Majority() != 2 {
+		t.Fatalf("majority %d", m.Majority())
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	m, _ := New(3, 4)
+	rng := rand.New(rand.NewSource(3))
+	ideal := map[int]Word{}
+	for step := 0; step < 30; step++ {
+		batch := rng.Intn(m.N) + 1
+		vars := rng.Perm(m.Vars())[:batch]
+		ops := make([]Op, batch)
+		expect := make([]Word, batch)
+		for i, v := range vars {
+			if rng.Intn(2) == 0 {
+				val := Word(rng.Intn(1 << 20))
+				ops[i] = Op{Origin: rng.Intn(m.N), Var: v, IsWrite: true, Value: val}
+				expect[i] = val
+			} else {
+				ops[i] = Op{Origin: rng.Intn(m.N), Var: v}
+				expect[i] = ideal[v]
+			}
+		}
+		res, st := m.Step(ops)
+		for i := range ops {
+			if res[i] != expect[i] {
+				t.Fatalf("step %d op %d: got %d want %d", step, i, res[i], expect[i])
+			}
+			if ops[i].IsWrite {
+				ideal[ops[i].Var] = ops[i].Value
+			}
+		}
+		if st.Requests != batch*m.Majority() {
+			t.Fatalf("requests %d, want %d", st.Requests, batch*m.Majority())
+		}
+		if st.MaxLoad < 1 || st.Steps != int64(st.MaxLoad)+2 {
+			t.Fatalf("stats %+v inconsistent", st)
+		}
+	}
+}
+
+// The [PP93a] guarantee shape: greedy majority selection keeps the
+// max module load within a small multiple of √n even on adversarial
+// (module-hot) request sets.
+func TestContentionBound(t *testing.T) {
+	m, _ := New(3, 4) // n = 81, √n = 9
+	full := func() []Op {
+		ops := make([]Op, m.N)
+		perm := rand.New(rand.NewSource(7)).Perm(m.Vars())
+		for i := range ops {
+			ops[i] = Op{Origin: i, Var: perm[i]}
+		}
+		return ops
+	}
+	_, stRandom := m.Step(full())
+	if stRandom.MaxLoad > 6*stRandom.SqrtNBound {
+		t.Fatalf("random: max load %d far above √n = %d", stRandom.MaxLoad, stRandom.SqrtNBound)
+	}
+
+	// Module-hot: every requested variable holds a copy in module 0.
+	deg := m.G.Degree(0)
+	count := deg
+	if count > m.N {
+		count = m.N
+	}
+	ops := make([]Op, count)
+	for r := 0; r < count; r++ {
+		ops[r] = Op{Origin: r, Var: m.G.InputAtRank(0, r)}
+	}
+	_, stHot := m.Step(ops)
+	if stHot.MaxLoad > 6*stHot.SqrtNBound {
+		t.Fatalf("module-hot: max load %d far above √n = %d", stHot.MaxLoad, stHot.SqrtNBound)
+	}
+	t.Logf("n=81: random max load %d, module-hot max load %d, √n = %d",
+		stRandom.MaxLoad, stHot.MaxLoad, stHot.SqrtNBound)
+}
+
+// Greedy balancing must beat fixed selection (always the first maj
+// copies) on the adversarial set.
+func TestGreedyBeatsFixedSelection(t *testing.T) {
+	m, _ := New(3, 4)
+	deg := m.G.Degree(5)
+	count := min(deg, m.N)
+	// Fixed selection would put `count` requests in module 5 whenever
+	// module 5 is among the chosen majority; greedy must spread them.
+	ops := make([]Op, count)
+	for r := 0; r < count; r++ {
+		ops[r] = Op{Origin: r, Var: m.G.InputAtRank(5, r)}
+	}
+	_, st := m.Step(ops)
+	if st.MaxLoad >= count {
+		t.Fatalf("greedy did not spread the hot module: load %d of %d", st.MaxLoad, count)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	m, _ := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate")
+		}
+	}()
+	m.Step([]Op{{Origin: 0, Var: 1}, {Origin: 1, Var: 1}})
+}
+
+func TestWriteQuorumsIntersectReadQuorums(t *testing.T) {
+	// Force different quorum choices by interleaving load, then verify
+	// the read still finds the newest value.
+	m, _ := New(3, 3)
+	m.Step([]Op{{Origin: 0, Var: 10, IsWrite: true, Value: 1}})
+	// Saturate the modules of variable 10 with other traffic so the
+	// next quorum for 10 differs.
+	other := make([]Op, 0)
+	mods := m.G.OutputsOf(10, nil)
+	for v := 0; v < m.Vars() && len(other) < 40; v++ {
+		if v == 10 {
+			continue
+		}
+		for _, u := range m.G.OutputsOf(v, nil) {
+			if u == mods[0] {
+				other = append(other, Op{Origin: len(other), Var: v})
+				break
+			}
+		}
+	}
+	m.Step(other)
+	m.Step([]Op{{Origin: 3, Var: 10, IsWrite: true, Value: 2}})
+	res, _ := m.Step([]Op{{Origin: 5, Var: 10}})
+	if res[0] != 2 {
+		t.Fatalf("read %d, want 2", res[0])
+	}
+}
+
+func BenchmarkMPCStep(b *testing.B) {
+	m, _ := New(3, 6) // n = 729
+	perm := rand.New(rand.NewSource(1)).Perm(m.Vars())
+	ops := make([]Op, m.N)
+	for i := range ops {
+		ops[i] = Op{Origin: i, Var: perm[i], IsWrite: i%2 == 0, Value: Word(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(ops)
+	}
+}

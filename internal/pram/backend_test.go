@@ -1,0 +1,99 @@
+package pram
+
+import (
+	"testing"
+
+	"meshpram/internal/core"
+	"meshpram/internal/hmos"
+)
+
+func TestMeshBackendIdleStep(t *testing.T) {
+	mb := newMesh(t, nil)
+	before := mb.Steps()
+	res, err := mb.ExecStep(make([]Op, 10)) // all Kind None
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res {
+		if v != 0 {
+			t.Fatal("idle step produced values")
+		}
+	}
+	if mb.Steps() != before {
+		t.Fatal("idle step charged mesh steps")
+	}
+}
+
+func TestMeshBackendUnknownKind(t *testing.T) {
+	mb := newMesh(t, nil)
+	if _, err := mb.ExecStep([]Op{{Kind: Kind(99), Addr: 1}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMeshBackendAddressValidation(t *testing.T) {
+	mb := newMesh(t, nil)
+	if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: mb.Vars()}}); err == nil {
+		t.Fatal("read out of range accepted")
+	}
+	if _, err := mb.ExecStep([]Op{{Kind: Write, Addr: -1, Value: 1}}); err == nil {
+		t.Fatal("write out of range accepted")
+	}
+}
+
+func TestMeshBackendMaxWriteCombine(t *testing.T) {
+	mb := newMesh(t, MaxWrite)
+	mb.ExecStep([]Op{
+		{Kind: Write, Addr: 4, Value: 30},
+		{Kind: Write, Addr: 4, Value: 90},
+		{Kind: Write, Addr: 4, Value: 60},
+	})
+	res, _ := mb.ExecStep([]Op{{Kind: Read, Addr: 4}})
+	if res[0] != 90 {
+		t.Fatalf("max combine = %d", res[0])
+	}
+}
+
+func TestMeshBackendManyDistinctSingleRound(t *testing.T) {
+	// Distinct reads and writes without overlap must execute as ONE
+	// protocol round: compare against the two-round cost of an
+	// overlapping step.
+	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
+	mkOps := func(overlap bool) []Op {
+		ops := make([]Op, 20)
+		for i := 0; i < 10; i++ {
+			ops[i] = Op{Kind: Read, Addr: i}
+		}
+		for i := 10; i < 20; i++ {
+			addr := i
+			if overlap && i == 10 {
+				addr = 0 // collides with a read
+			}
+			ops[i] = Op{Kind: Write, Addr: addr, Value: Word(i)}
+		}
+		return ops
+	}
+	mb1, _ := NewMesh(p, core.Config{}, nil)
+	mb1.ExecStep(mkOps(false))
+	single := mb1.Steps()
+	mb2, _ := NewMesh(p, core.Config{}, nil)
+	mb2.ExecStep(mkOps(true))
+	double := mb2.Steps()
+	if double <= single {
+		t.Fatalf("overlapping step (%d) not costlier than disjoint (%d)", double, single)
+	}
+}
+
+func TestRunStepLimitGuard(t *testing.T) {
+	id := NewIdeal(4, nil)
+	if _, err := Run(&foreverProgram{}, id); err == nil {
+		t.Fatal("runaway program not stopped")
+	}
+}
+
+type foreverProgram struct{}
+
+func (f *foreverProgram) Procs() int { return 1 }
+func (f *foreverProgram) Next(t int, prev []Word) ([]Op, bool) {
+	return []Op{{Kind: Read, Addr: 0}}, false
+}

@@ -1,0 +1,47 @@
+package pram_test
+
+import (
+	"fmt"
+
+	"meshpram/internal/core"
+	"meshpram/internal/hmos"
+	"meshpram/internal/pram"
+)
+
+// ExampleRun executes the recursive-doubling prefix-sum program on the
+// ideal PRAM and reads back the total.
+func ExampleRun() {
+	id := pram.NewIdeal(16, nil)
+	in := []pram.Word{1, 2, 3, 4, 5, 6, 7, 8}
+	steps, err := pram.Run(&pram.PrefixSum{In: in}, id)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("PRAM steps:", steps)
+	fmt.Println("prefix total:", id.Mem()[7])
+	// Output:
+	// PRAM steps: 7
+	// prefix total: 36
+}
+
+// ExampleNewMesh runs the same program through the paper's mesh
+// simulation: identical results, mesh-step cost reported.
+func ExampleNewMesh() {
+	mb, err := pram.NewMesh(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{}, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	in := []pram.Word{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := pram.Run(&pram.PrefixSum{In: in}, mb); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, _ := mb.ExecStep([]pram.Op{{Kind: pram.Read, Addr: 7}})
+	fmt.Println("prefix total:", res[0])
+	fmt.Println("simulation was charged mesh steps:", mb.Steps() > 0)
+	// Output:
+	// prefix total: 36
+	// simulation was charged mesh steps: true
+}

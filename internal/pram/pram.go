@@ -1,0 +1,312 @@
+// Package pram provides the programming front-end of the simulation: a
+// lockstep PRAM programming model with pluggable execution backends —
+// an ideal shared memory (the machine being simulated) and the mesh
+// simulation of the paper (internal/core). The same Program runs on
+// both; comparing their step counts yields the simulation slowdown.
+//
+// Concurrent access: the paper's protocol serves one *distinct*
+// variable per processor per step. The mesh backend therefore combines
+// concurrent requests at the source, Ranade-style: concurrent reads of
+// a variable are served by one representative request and fanned out,
+// concurrent writes are reduced by a combining policy before a single
+// winner is routed. A step whose read set and write set overlap is
+// split into a read round followed by a write round so that all reads
+// observe the pre-step memory (the usual CRCW convention).
+package pram
+
+import (
+	"fmt"
+	"sort"
+
+	"meshpram/internal/core"
+	"meshpram/internal/hmos"
+	"meshpram/internal/mesh"
+	"meshpram/internal/route"
+)
+
+// Word is the PRAM machine word.
+type Word = int64
+
+// Kind classifies a processor's request in a step.
+type Kind uint8
+
+const (
+	None  Kind = iota // no shared-memory access this step
+	Read              // read Addr
+	Write             // write Value to Addr
+)
+
+// Op is one processor's request for a PRAM step.
+type Op struct {
+	Kind  Kind
+	Addr  int
+	Value Word
+}
+
+// Program is a lockstep PRAM program. Next is called once per PRAM
+// step with the step index and, aligned by processor id, the results of
+// the previous step's reads (zero for non-reads). It returns this
+// step's ops (length Procs(); use Kind None for idle processors) and
+// whether the program has terminated (when done is true the returned
+// ops are not executed).
+type Program interface {
+	Procs() int
+	Next(t int, prev []Word) (ops []Op, done bool)
+}
+
+// CombinePolicy reduces concurrent writes to one value.
+type CombinePolicy func(vals []Word) Word
+
+// ArbitraryWrite takes the first (lowest-pid) value — the Arbitrary
+// CRCW convention.
+func ArbitraryWrite(vals []Word) Word { return vals[0] }
+
+// MaxWrite combines by maximum.
+func MaxWrite(vals []Word) Word {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// SumWrite combines by addition.
+func SumWrite(vals []Word) Word {
+	var s Word
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Backend executes PRAM steps.
+type Backend interface {
+	// Vars returns the shared-memory size.
+	Vars() int
+	// ExecStep executes one step of ops (indexed by pid; Kind None
+	// entries are idle) and returns the read results aligned by pid.
+	ExecStep(ops []Op) ([]Word, error)
+	// Steps returns the cumulative cost in backend steps.
+	Steps() int64
+}
+
+// Run executes the program to completion on the backend and returns
+// the number of PRAM steps taken.
+func Run(p Program, b Backend) (pramSteps int, err error) {
+	n := p.Procs()
+	prev := make([]Word, n)
+	for t := 0; ; t++ {
+		ops, done := p.Next(t, prev)
+		if done {
+			return t, nil
+		}
+		if len(ops) != n {
+			return t, fmt.Errorf("pram: program returned %d ops for %d processors", len(ops), n)
+		}
+		res, err := b.ExecStep(ops)
+		if err != nil {
+			return t, err
+		}
+		copy(prev, res)
+		if t > 1<<20 {
+			return t, fmt.Errorf("pram: program exceeded the %d-step limit", 1<<20)
+		}
+	}
+}
+
+// --- Ideal backend -----------------------------------------------------
+
+// Ideal is the machine being simulated: a unit-cost shared memory.
+type Ideal struct {
+	mem     []Word
+	steps   int64
+	combine CombinePolicy
+}
+
+// NewIdeal creates an ideal PRAM with the given memory size.
+func NewIdeal(vars int, combine CombinePolicy) *Ideal {
+	if combine == nil {
+		combine = ArbitraryWrite
+	}
+	return &Ideal{mem: make([]Word, vars), combine: combine}
+}
+
+// Vars implements Backend.
+func (id *Ideal) Vars() int { return len(id.mem) }
+
+// Steps implements Backend: every PRAM step costs one unit.
+func (id *Ideal) Steps() int64 { return id.steps }
+
+// ExecStep implements Backend.
+func (id *Ideal) ExecStep(ops []Op) ([]Word, error) {
+	res := make([]Word, len(ops))
+	// Reads see pre-step memory.
+	for i, op := range ops {
+		if op.Kind == Read {
+			if op.Addr < 0 || op.Addr >= len(id.mem) {
+				return nil, fmt.Errorf("pram: read address %d out of range", op.Addr)
+			}
+			res[i] = id.mem[op.Addr]
+		}
+	}
+	writes := map[int][]Word{}
+	var addrs []int
+	for _, op := range ops {
+		if op.Kind == Write {
+			if op.Addr < 0 || op.Addr >= len(id.mem) {
+				return nil, fmt.Errorf("pram: write address %d out of range", op.Addr)
+			}
+			if _, ok := writes[op.Addr]; !ok {
+				addrs = append(addrs, op.Addr)
+			}
+			writes[op.Addr] = append(writes[op.Addr], op.Value)
+		}
+	}
+	for _, a := range addrs {
+		id.mem[a] = id.combine(writes[a])
+	}
+	id.steps++
+	return res, nil
+}
+
+// Mem exposes the ideal memory for verification in tests and examples.
+func (id *Ideal) Mem() []Word { return id.mem }
+
+// --- Mesh backend -------------------------------------------------------
+
+// Mesh executes PRAM steps on the paper's mesh simulation.
+type Mesh struct {
+	Sim     *core.Simulator
+	combine CombinePolicy
+	m       *mesh.Machine
+}
+
+// NewMesh wraps a core simulator as a PRAM backend.
+func NewMesh(p hmos.Params, cfg core.Config, combine CombinePolicy) (*Mesh, error) {
+	sim, err := core.New(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if combine == nil {
+		combine = ArbitraryWrite
+	}
+	return &Mesh{Sim: sim, combine: combine, m: sim.Mesh()}, nil
+}
+
+// Vars implements Backend.
+func (mb *Mesh) Vars() int { return mb.Sim.Scheme().Vars() }
+
+// Steps implements Backend: cumulative charged mesh steps.
+func (mb *Mesh) Steps() int64 { return mb.m.Steps() }
+
+// ExecStep implements Backend. Concurrent requests are combined at the
+// origins (charged as one mesh sort + prefix pass when any combining or
+// fan-out happens), then executed as one core step — or two, when the
+// step both reads and writes the same variable.
+func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
+	res := make([]Word, len(ops))
+	n := mb.m.N
+
+	readers := map[int][]int{} // addr -> pids
+	writers := map[int][]int{}
+	var readAddrs, writeAddrs []int
+	for pid, op := range ops {
+		switch op.Kind {
+		case None:
+		case Read:
+			if op.Addr < 0 || op.Addr >= mb.Vars() {
+				return nil, fmt.Errorf("pram: read address %d out of range", op.Addr)
+			}
+			if _, ok := readers[op.Addr]; !ok {
+				readAddrs = append(readAddrs, op.Addr)
+			}
+			readers[op.Addr] = append(readers[op.Addr], pid)
+		case Write:
+			if op.Addr < 0 || op.Addr >= mb.Vars() {
+				return nil, fmt.Errorf("pram: write address %d out of range", op.Addr)
+			}
+			if _, ok := writers[op.Addr]; !ok {
+				writeAddrs = append(writeAddrs, op.Addr)
+			}
+			writers[op.Addr] = append(writers[op.Addr], pid)
+		default:
+			return nil, fmt.Errorf("pram: unknown op kind %d", op.Kind)
+		}
+	}
+	if len(readAddrs) == 0 && len(writeAddrs) == 0 {
+		return res, nil
+	}
+	sort.Ints(readAddrs)
+	sort.Ints(writeAddrs)
+
+	// Charge source combining when any variable has multiple requests
+	// or a read/write conflict: one sort + prefix pass over the mesh.
+	needCombine := false
+	for _, a := range readAddrs {
+		if len(readers[a]) > 1 || writers[a] != nil {
+			needCombine = true
+		}
+	}
+	for _, a := range writeAddrs {
+		if len(writers[a]) > 1 {
+			needCombine = true
+		}
+	}
+	if needCombine {
+		full := mb.m.Full()
+		mb.m.AddSteps(route.SortCost(full, 1) + 3*int64(full.W-1) + int64(full.H-1))
+	}
+
+	if len(readAddrs) > n || len(writeAddrs) > n {
+		return nil, fmt.Errorf("pram: %d distinct addresses exceed %d mesh processors",
+			max(len(readAddrs), len(writeAddrs)), n)
+	}
+
+	// A read and a write to the same variable in one step force a read
+	// round before the write round so reads see pre-step memory;
+	// otherwise everything goes in a single protocol round.
+	overlap := false
+	for _, a := range readAddrs {
+		if writers[a] != nil {
+			overlap = true
+			break
+		}
+	}
+
+	readBatch := make([]core.Op, 0, len(readAddrs))
+	for _, a := range readAddrs {
+		readBatch = append(readBatch, core.Op{Origin: readers[a][0] % n, Var: a})
+	}
+	writeBatch := make([]core.Op, 0, len(writeAddrs))
+	for _, a := range writeAddrs {
+		vals := make([]Word, 0, len(writers[a]))
+		for _, pid := range writers[a] {
+			vals = append(vals, ops[pid].Value)
+		}
+		writeBatch = append(writeBatch, core.Op{Origin: writers[a][0] % n, Var: a, IsWrite: true, Value: mb.combine(vals)})
+	}
+
+	fanOut := func(vals []Word) {
+		for i, a := range readAddrs {
+			for _, pid := range readers[a] {
+				res[pid] = vals[i]
+			}
+		}
+	}
+	if overlap || len(readBatch)+len(writeBatch) > n {
+		if len(readBatch) > 0 {
+			vals, _ := mb.Sim.Step(readBatch)
+			fanOut(vals)
+		}
+		if len(writeBatch) > 0 {
+			mb.Sim.Step(writeBatch)
+		}
+		return res, nil
+	}
+	merged := append(readBatch, writeBatch...)
+	vals, _ := mb.Sim.Step(merged)
+	fanOut(vals[:len(readBatch)])
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package pram
+
+import "fmt"
+
+// This file provides classic PRAM programs used by the examples and the
+// integration tests. Each is a lockstep state machine issuing one
+// shared-memory request per processor per step, exactly the access
+// pattern the paper's simulation serves.
+
+// PrefixSum computes inclusive prefix sums of its input by recursive
+// doubling: after ⌈log₂ n⌉ rounds, memory cell i holds in[0]+…+in[i].
+// Layout: x[i] at address Base+i.
+type PrefixSum struct {
+	In   []Word
+	Base int
+
+	acc   []Word
+	d     int
+	phase int // 0 init-write, then alternating read (1) / write (2)
+}
+
+// Procs implements Program.
+func (p *PrefixSum) Procs() int { return len(p.In) }
+
+// Next implements Program.
+func (p *PrefixSum) Next(t int, prev []Word) ([]Op, bool) {
+	n := len(p.In)
+	ops := make([]Op, n)
+	switch {
+	case p.phase == 0:
+		p.acc = append([]Word(nil), p.In...)
+		p.d = 1
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.acc[i]}
+		}
+		p.phase = 1
+		return ops, false
+	case p.d >= n:
+		return nil, true
+	case p.phase == 1: // read x[i-d]
+		for i := p.d; i < n; i++ {
+			ops[i] = Op{Kind: Read, Addr: p.Base + i - p.d}
+		}
+		p.phase = 2
+		return ops, false
+	default: // phase 2: fold and write x[i]
+		for i := p.d; i < n; i++ {
+			p.acc[i] += prev[i]
+			ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.acc[i]}
+		}
+		p.d *= 2
+		p.phase = 1
+		return ops, false
+	}
+}
+
+// ListRank computes, by pointer jumping, the distance of every node of
+// a linked list to its terminal (a node with Next[i] == i). Layout:
+// next[i] at NextBase+i, rank[i] at RankBase+i. After the program
+// completes, rank[i] holds the distance.
+type ListRank struct {
+	Succ     []int
+	NextBase int
+	RankBase int
+
+	next  []int
+	rank  []Word
+	round int
+	phase int
+}
+
+// Procs implements Program.
+func (p *ListRank) Procs() int { return len(p.Succ) }
+
+// Next implements Program.
+func (p *ListRank) Next(t int, prev []Word) ([]Op, bool) {
+	n := len(p.Succ)
+	ops := make([]Op, n)
+	switch p.phase {
+	case 0: // init local state, write next[]
+		p.next = append([]int(nil), p.Succ...)
+		p.rank = make([]Word, n)
+		for i := 0; i < n; i++ {
+			if p.next[i] != i {
+				p.rank[i] = 1
+			}
+			ops[i] = Op{Kind: Write, Addr: p.NextBase + i, Value: Word(p.next[i])}
+		}
+		p.phase = 1
+		return ops, false
+	case 1: // write rank[]
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Write, Addr: p.RankBase + i, Value: p.rank[i]}
+		}
+		p.round = 0
+		p.phase = 2
+		return ops, false
+	case 2: // read rank[next[i]] (concurrent reads combined by backend)
+		if 1<<p.round >= n {
+			return nil, true
+		}
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Read, Addr: p.RankBase + p.next[i]}
+		}
+		p.phase = 3
+		return ops, false
+	case 3: // read next[next[i]], fold rank
+		for i := 0; i < n; i++ {
+			if p.next[i] != i {
+				p.rank[i] += prev[i]
+			}
+			ops[i] = Op{Kind: Read, Addr: p.NextBase + p.next[i]}
+		}
+		p.phase = 4
+		return ops, false
+	case 4: // jump pointers, write rank
+		for i := 0; i < n; i++ {
+			if p.next[i] != i {
+				p.next[i] = int(prev[i])
+			}
+			ops[i] = Op{Kind: Write, Addr: p.RankBase + i, Value: p.rank[i]}
+		}
+		p.phase = 5
+		return ops, false
+	default: // write next
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Write, Addr: p.NextBase + i, Value: Word(p.next[i])}
+		}
+		p.round++
+		p.phase = 2
+		return ops, false
+	}
+}
+
+// MatVec computes y = A·x for a dense R×C matrix with one processor
+// per row, reading one matrix entry and one vector entry per column
+// iteration (the vector reads are concurrent and combined by the
+// backend). Layout: A row-major at ABase, x at XBase, y at YBase.
+type MatVec struct {
+	A                   [][]Word // R rows × C cols
+	X                   []Word   // length C
+	ABase, XBase, YBase int
+
+	acc   []Word
+	stash []Word
+	col   int
+	xoff  int
+	phase int
+}
+
+// Procs implements Program.
+func (p *MatVec) Procs() int { return len(p.A) }
+
+// Validate checks layout consistency.
+func (p *MatVec) Validate() error {
+	for i, row := range p.A {
+		if len(row) != len(p.X) {
+			return fmt.Errorf("pram: row %d has %d entries, want %d", i, len(row), len(p.X))
+		}
+	}
+	return nil
+}
+
+// Next implements Program.
+func (p *MatVec) Next(t int, prev []Word) ([]Op, bool) {
+	r := len(p.A)
+	c := len(p.X)
+	ops := make([]Op, r)
+	switch p.phase {
+	case 0: // write x, r entries per step
+		if p.acc == nil {
+			p.acc = make([]Word, r)
+			p.stash = make([]Word, r)
+		}
+		if p.xoff < c {
+			for i := 0; i < r && p.xoff+i < c; i++ {
+				ops[i] = Op{Kind: Write, Addr: p.XBase + p.xoff + i, Value: p.X[p.xoff+i]}
+			}
+			p.xoff += r
+			return ops, false
+		}
+		p.col = 0
+		p.phase = 1
+		fallthrough
+	case 1: // write A column by column
+		if p.col < c {
+			for i := 0; i < r; i++ {
+				ops[i] = Op{Kind: Write, Addr: p.ABase + i*c + p.col, Value: p.A[i][p.col]}
+			}
+			p.col++
+			return ops, false
+		}
+		p.col = 0
+		p.phase = 2
+		fallthrough
+	case 2: // read A[i][col], or finish by writing y
+		if p.col >= c {
+			for i := 0; i < r; i++ {
+				ops[i] = Op{Kind: Write, Addr: p.YBase + i, Value: p.acc[i]}
+			}
+			p.phase = 5
+			return ops, false
+		}
+		for i := 0; i < r; i++ {
+			ops[i] = Op{Kind: Read, Addr: p.ABase + i*c + p.col}
+		}
+		p.phase = 3
+		return ops, false
+	case 3: // stash A entries, read x[col] concurrently
+		copy(p.stash, prev)
+		for i := 0; i < r; i++ {
+			ops[i] = Op{Kind: Read, Addr: p.XBase + p.col}
+		}
+		p.phase = 4
+		return ops, false
+	case 4: // fold a·x and loop
+		for i := 0; i < r; i++ {
+			p.acc[i] += p.stash[i] * prev[i]
+		}
+		p.col++
+		p.phase = 2
+		return p.Next(t, prev)
+	default:
+		return nil, true
+	}
+}

@@ -1,0 +1,183 @@
+package pram
+
+// Additional classic PRAM programs: tree reduction, odd-even
+// transposition sort, and prefix-sum-based stream compaction. Together
+// with programs.go they exercise every access shape the simulation
+// serves: exclusive reads/writes, concurrent reads, and data-dependent
+// (value-driven) addressing.
+
+// Reduce computes the sum of its input with a binary fan-in tree:
+// ⌈log₂ n⌉ rounds, result in memory cell Base.
+type Reduce struct {
+	In   []Word
+	Base int
+
+	acc   []Word
+	d     int
+	phase int
+}
+
+// Procs implements Program.
+func (p *Reduce) Procs() int { return len(p.In) }
+
+// Next implements Program.
+func (p *Reduce) Next(t int, prev []Word) ([]Op, bool) {
+	n := len(p.In)
+	ops := make([]Op, n)
+	switch {
+	case p.phase == 0: // write x[i] = in[i]
+		p.acc = append([]Word(nil), p.In...)
+		p.d = 1
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.acc[i]}
+		}
+		p.phase = 1
+		return ops, false
+	case p.d >= n:
+		return nil, true
+	case p.phase == 1: // processor i (i+d < n, i ≡ 0 mod 2d) reads x[i+d]
+		for i := 0; i+p.d < n; i += 2 * p.d {
+			ops[i] = Op{Kind: Read, Addr: p.Base + i + p.d}
+		}
+		p.phase = 2
+		return ops, false
+	default: // fold and write
+		for i := 0; i+p.d < n; i += 2 * p.d {
+			p.acc[i] += prev[i]
+			ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.acc[i]}
+		}
+		p.d *= 2
+		p.phase = 1
+		return ops, false
+	}
+}
+
+// OddEvenSort sorts its input ascending with the PRAM odd-even
+// transposition network: n rounds of compare-exchange between
+// neighbors, one processor per element. Sorted result in
+// Base..Base+n−1.
+type OddEvenSort struct {
+	In   []Word
+	Base int
+
+	vals  []Word
+	round int
+	phase int
+}
+
+// Procs implements Program.
+func (p *OddEvenSort) Procs() int { return len(p.In) }
+
+// Next implements Program.
+func (p *OddEvenSort) Next(t int, prev []Word) ([]Op, bool) {
+	n := len(p.In)
+	ops := make([]Op, n)
+	switch p.phase {
+	case 0: // write initial values
+		p.vals = append([]Word(nil), p.In...)
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.vals[i]}
+		}
+		p.phase = 1
+		return ops, false
+	case 1: // left partner of each active pair reads the right value
+		if p.round >= n {
+			return nil, true
+		}
+		start := p.round % 2
+		for i := start; i+1 < n; i += 2 {
+			ops[i] = Op{Kind: Read, Addr: p.Base + i + 1}
+		}
+		p.phase = 2
+		return ops, false
+	default: // compare-exchange and write both cells
+		start := p.round % 2
+		for i := start; i+1 < n; i += 2 {
+			right := prev[i]
+			if p.vals[i] > right {
+				p.vals[i], p.vals[i+1] = right, p.vals[i]
+				ops[i] = Op{Kind: Write, Addr: p.Base + i, Value: p.vals[i]}
+				ops[i+1] = Op{Kind: Write, Addr: p.Base + i + 1, Value: p.vals[i+1]}
+			} else {
+				p.vals[i+1] = right
+			}
+		}
+		p.round++
+		p.phase = 1
+		return ops, false
+	}
+}
+
+// Compact moves the nonzero elements of its input, order-preserving, to
+// the front of the output segment at OutBase, using a prefix-sum of
+// indicator bits to compute data-dependent destinations; the count
+// lands at CountAddr. It composes PrefixSum as a sub-program.
+type Compact struct {
+	In        []Word
+	FlagBase  int // scratch: n cells for the indicator prefix sums
+	OutBase   int // n output cells
+	CountAddr int
+
+	inner      *PrefixSum
+	phase      int
+	stashCount Word
+}
+
+// Procs implements Program.
+func (p *Compact) Procs() int { return len(p.In) }
+
+// Next implements Program.
+func (p *Compact) Next(t int, prev []Word) ([]Op, bool) {
+	n := len(p.In)
+	switch p.phase {
+	case 0: // run prefix sums over the indicator bits
+		flags := make([]Word, n)
+		for i, v := range p.In {
+			if v != 0 {
+				flags[i] = 1
+			}
+		}
+		p.inner = &PrefixSum{In: flags, Base: p.FlagBase}
+		p.phase = 1
+		fallthrough
+	case 1:
+		ops, done := p.inner.Next(t, prev)
+		if !done {
+			return ops, false
+		}
+		p.phase = 2
+		fallthrough
+	case 2: // read own inclusive prefix (gives destination + 1)
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			ops[i] = Op{Kind: Read, Addr: p.FlagBase + i}
+		}
+		p.phase = 3
+		return ops, false
+	case 3: // scatter the survivors; processor n−1 also writes the count
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			if p.In[i] != 0 {
+				ops[i] = Op{Kind: Write, Addr: p.OutBase + int(prev[i]) - 1, Value: p.In[i]}
+			} else if i == n-1 {
+				ops[i] = Op{Kind: Write, Addr: p.CountAddr, Value: prev[i]}
+			}
+		}
+		// If the last element is nonzero its processor must write both
+		// its value and the count; split over two steps via phase 4.
+		if p.In[n-1] != 0 {
+			p.phase = 4
+			p.stashCount = prev[n-1]
+		} else {
+			p.phase = 5
+		}
+		return ops, false
+	case 4: // deferred count write
+		ops := make([]Op, n)
+		ops[n-1] = Op{Kind: Write, Addr: p.CountAddr, Value: p.stashCount}
+		p.phase = 5
+		return ops, false
+	default:
+		return nil, true
+	}
+}

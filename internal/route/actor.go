@@ -1,0 +1,174 @@
+package route
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"meshpram/internal/mesh"
+)
+
+// GreedyRouteActors is a distributed execution of GreedyRoute: one
+// goroutine per processor of the region, communicating over per-link
+// channels, synchronized by a cyclic barrier per routing cycle — the
+// "goroutines map to processors" realization of the mesh. Semantics,
+// delivered packet order, and the returned cycle count are exactly
+// those of the sequential GreedyRoute (asserted by tests); it exists
+// both as a validation of the cycle simulation and as the
+// shared-nothing reference implementation.
+func GreedyRouteActors[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	delivered = make([][]T, m.N)
+	var active atomic.Int64
+	var seq int32
+	queues := make([][]gpkt[T], m.N)
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			for _, v := range items[p] {
+				d := dest(v)
+				if !r.Contains(m, d) {
+					panic("route: destination outside region")
+				}
+				if d == p {
+					delivered[p] = append(delivered[p], v)
+					continue
+				}
+				queues[p] = append(queues[p], gpkt[T]{val: v, dest: d, seq: seq})
+				seq++
+				active.Add(1)
+			}
+			items[p] = items[p][:0]
+		}
+	}
+	if active.Load() == 0 {
+		return delivered, 0
+	}
+
+	// links[p][dir] carries the packet processor p sends in direction
+	// dir this cycle (capacity 1: one packet per directed link/cycle).
+	links := make([][4]chan gpkt[T], m.N)
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			for d := 0; d < 4; d++ {
+				links[p][d] = make(chan gpkt[T], 1)
+			}
+		}
+	}
+
+	size := r.Size()
+	bar := newBarrier(size)
+	var cycles int64
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for i := 0; i < size; i++ {
+		p := r.ProcAtSnake(m, i)
+		go func(p int, first bool) {
+			defer wg.Done()
+			for {
+				// Send phase: pick at most one packet per direction.
+				q := queues[p]
+				var best [4]int
+				var bestDist [4]int
+				for d := range best {
+					best[d] = -1
+				}
+				for i, pk := range q {
+					dir, _ := nextHop(m, p, pk.dest)
+					dist := m.Dist(p, pk.dest)
+					if best[dir] == -1 || dist > bestDist[dir] ||
+						(dist == bestDist[dir] && pk.seq < q[best[dir]].seq) {
+						best[dir] = i
+						bestDist[dir] = dist
+					}
+				}
+				sent := map[int]bool{}
+				for d := 0; d < 4; d++ {
+					if best[d] >= 0 {
+						links[p][d] <- q[best[d]]
+						sent[best[d]] = true
+					}
+				}
+				if len(sent) > 0 {
+					out := q[:0]
+					for i, pk := range q {
+						if !sent[i] {
+							out = append(out, pk)
+						}
+					}
+					queues[p] = out
+				}
+				bar.wait()
+
+				// Receive phase: drain incoming links in the order the
+				// sequential router appends arrivals (sources in
+				// row-major order: north, west, east, south neighbor).
+				recv := func(src, dir int) {
+					select {
+					case pk := <-links[src][dir]:
+						if pk.dest == p {
+							delivered[p] = append(delivered[p], pk.val)
+							active.Add(-1)
+						} else {
+							queues[p] = append(queues[p], pk)
+						}
+					default:
+					}
+				}
+				if m.RowOf(p) > r.R0 {
+					recv(p-m.Side, 3) // from north neighbor, sent south
+				}
+				if m.ColOf(p) > r.C0 {
+					recv(p-1, 1) // from west neighbor, sent east
+				}
+				if m.ColOf(p) < r.C0+r.W-1 {
+					recv(p+1, 0) // from east neighbor, sent west
+				}
+				if m.RowOf(p) < r.R0+r.H-1 {
+					recv(p+m.Side, 2) // from south neighbor, sent north
+				}
+				if first {
+					cycles++
+				}
+				bar.wait()
+				if active.Load() == 0 {
+					return
+				}
+			}
+		}(p, i == 0)
+	}
+	wg.Wait()
+	return delivered, cycles
+}
+
+// barrier is a reusable cyclic barrier for n parties.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n parties have called wait for this generation.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshpram/internal/mesh"
+)
+
+// The actor router must reproduce the sequential cycle simulation
+// exactly: same deliveries in the same per-processor order and the same
+// cycle count.
+func TestActorRouterMatchesSequential(t *testing.T) {
+	m := mesh.MustNew(8)
+	rng := rand.New(rand.NewSource(31))
+	regions := []mesh.Region{m.Full(), {R0: 1, C0: 2, H: 5, W: 4}, {R0: 0, C0: 0, H: 1, W: 8}}
+	for _, r := range regions {
+		for trial := 0; trial < 8; trial++ {
+			count := rng.Intn(4 * r.Size())
+			mk := func(seed int64) [][]item {
+				lr := rand.New(rand.NewSource(seed))
+				items := make([][]item, m.N)
+				for i := 0; i < count; i++ {
+					src := r.ProcAtSnake(m, lr.Intn(r.Size()))
+					dst := r.ProcAtSnake(m, lr.Intn(r.Size()))
+					items[src] = append(items[src], item{dest: dst, id: i})
+				}
+				return items
+			}
+			seed := rng.Int63()
+			seqDel, seqCycles := GreedyRoute(m, r, mk(seed), func(v item) int { return v.dest })
+			actDel, actCycles := GreedyRouteActors(m, r, mk(seed), func(v item) int { return v.dest })
+			if seqCycles != actCycles {
+				t.Fatalf("region %v count %d: cycles %d (seq) vs %d (actors)", r, count, seqCycles, actCycles)
+			}
+			for p := 0; p < m.N; p++ {
+				if len(seqDel[p]) != len(actDel[p]) {
+					t.Fatalf("region %v proc %d: %d vs %d deliveries", r, p, len(seqDel[p]), len(actDel[p]))
+				}
+				for j := range seqDel[p] {
+					if seqDel[p][j] != actDel[p][j] {
+						t.Fatalf("region %v proc %d slot %d: %+v vs %+v", r, p, j, seqDel[p][j], actDel[p][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestActorRouterEmptyAndSelf(t *testing.T) {
+	m := mesh.MustNew(4)
+	items := make([][]item, m.N)
+	_, cycles := GreedyRouteActors(m, m.Full(), items, func(v item) int { return v.dest })
+	if cycles != 0 {
+		t.Fatalf("empty routing took %d cycles", cycles)
+	}
+	items[3] = append(items[3], item{dest: 3})
+	del, cycles := GreedyRouteActors(m, m.Full(), items, func(v item) int { return v.dest })
+	if cycles != 0 || len(del[3]) != 1 {
+		t.Fatalf("self delivery: cycles=%d", cycles)
+	}
+}
+
+func TestActorRouterAllToOne(t *testing.T) {
+	m := mesh.MustNew(6)
+	mk := func() [][]item {
+		items := make([][]item, m.N)
+		for p := 0; p < m.N; p++ {
+			items[p] = append(items[p], item{dest: 0, id: p})
+		}
+		return items
+	}
+	seqDel, seqCycles := GreedyRoute(m, m.Full(), mk(), func(v item) int { return v.dest })
+	actDel, actCycles := GreedyRouteActors(m, m.Full(), mk(), func(v item) int { return v.dest })
+	if seqCycles != actCycles || len(seqDel[0]) != len(actDel[0]) {
+		t.Fatalf("hotspot mismatch: %d/%d vs %d/%d", seqCycles, len(seqDel[0]), actCycles, len(actDel[0]))
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	b := newBarrier(4)
+	var phase [4]int
+	done := make(chan bool)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			for round := 0; round < 100; round++ {
+				phase[i] = round
+				b.wait()
+				// After the barrier, everyone must be at the same round.
+				for j := 0; j < 4; j++ {
+					if phase[j] < round {
+						panic("barrier leaked a laggard")
+					}
+				}
+				b.wait()
+			}
+			done <- true
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+func BenchmarkActorRouterPermutation(b *testing.B) {
+	m := mesh.MustNew(16)
+	perm := rand.New(rand.NewSource(1)).Perm(m.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := make([][]item, m.N)
+		for p := 0; p < m.N; p++ {
+			items[p] = append(items[p], item{dest: perm[p]})
+		}
+		GreedyRouteActors(m, m.Full(), items, func(v item) int { return v.dest })
+	}
+}

@@ -1,0 +1,218 @@
+package route
+
+import (
+	"fmt"
+
+	"meshpram/internal/mesh"
+)
+
+// gpkt is a packet in flight inside the greedy router.
+type gpkt[T any] struct {
+	val  T
+	dest int
+	seq  int32 // injection order, deterministic tie-break
+}
+
+// garrival is a packet crossing into a new processor this cycle.
+type garrival[T any] struct {
+	to int
+	pk gpkt[T]
+}
+
+// topology abstracts the link structure the greedy router moves packets
+// over: the plain mesh (dimension-ordered XY inside a region) or the
+// torus (wrap-around links, shorter-way-first per axis).
+type topology interface {
+	// next returns the outgoing direction (0..3, unique per link) and
+	// the neighbor it leads to, en route from p to dest.
+	next(p, dest int) (dir, to int)
+	// dist is the remaining hop distance from p to dest.
+	dist(p, dest int) int
+}
+
+// meshTopo routes column-first inside a rectangular region.
+type meshTopo struct{ m *mesh.Machine }
+
+func (t meshTopo) next(p, dest int) (dir, to int) {
+	m := t.m
+	pc, dc := m.ColOf(p), m.ColOf(dest)
+	switch {
+	case pc > dc:
+		return 0, p - 1
+	case pc < dc:
+		return 1, p + 1
+	}
+	if m.RowOf(p) > m.RowOf(dest) {
+		return 2, p - m.Side
+	}
+	return 3, p + m.Side
+}
+
+func (t meshTopo) dist(p, dest int) int { return t.m.Dist(p, dest) }
+
+// torusTopo routes column-first over the full mesh with wrap-around
+// links, taking the shorter way around each axis (ties: the non-wrap
+// direction).
+type torusTopo struct{ m *mesh.Machine }
+
+func (t torusTopo) axis(cur, dst, size int) (step, hops int) {
+	// Returns the signed unit step (−1, +1, or 0 if aligned) taking the
+	// shorter way around the ring, and the hop count that way.
+	if cur == dst {
+		return 0, 0
+	}
+	fwd := (dst - cur + size) % size  // steps going +1
+	back := (cur - dst + size) % size // steps going -1
+	if fwd <= back {
+		return 1, fwd
+	}
+	return -1, back
+}
+
+func (t torusTopo) next(p, dest int) (dir, to int) {
+	m := t.m
+	s := m.Side
+	pc, dc := m.ColOf(p), m.ColOf(dest)
+	if step, _ := t.axis(pc, dc, s); step != 0 {
+		nc := (pc + step + s) % s
+		if step < 0 {
+			return 0, m.IDOf(m.RowOf(p), nc)
+		}
+		return 1, m.IDOf(m.RowOf(p), nc)
+	}
+	pr, dr := m.RowOf(p), m.RowOf(dest)
+	step, _ := t.axis(pr, dr, s)
+	nr := (pr + step + s) % s
+	if step < 0 {
+		return 2, m.IDOf(nr, m.ColOf(p))
+	}
+	return 3, m.IDOf(nr, m.ColOf(p))
+}
+
+func (t torusTopo) dist(p, dest int) int {
+	s := t.m.Side
+	_, dc := t.axis(t.m.ColOf(p), t.m.ColOf(dest), s)
+	_, dr := t.axis(t.m.RowOf(p), t.m.RowOf(dest), s)
+	return dc + dr
+}
+
+// GreedyRoute delivers every item to its destination processor using
+// dimension-ordered (column-first) greedy routing, simulated cycle by
+// cycle: in each cycle every directed link carries at most one packet,
+// chosen by farthest-remaining-distance first (ties broken by injection
+// order). Buffers are unbounded (store-and-forward). Destinations must
+// lie inside the region; the XY path then stays inside it.
+//
+// It returns the delivered items per processor and the number of cycles
+// (= machine steps) the routing took.
+func GreedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return greedyRoute(m, r, items, dest, meshTopo{m})
+}
+
+// GreedyRouteTorus is GreedyRoute on the full machine with wrap-around
+// links (the torus extension; experiment E16). The region is always the
+// whole mesh — wrap paths cannot be confined to a submesh.
+func GreedyRouteTorus[T any](m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return greedyRoute(m, m.Full(), items, dest, torusTopo{m})
+}
+
+func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int, topo topology) (delivered [][]T, steps int64) {
+	delivered = make([][]T, m.N)
+	queues := make(map[int][]gpkt[T])
+	var seq int32
+	active := 0
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			for _, v := range items[p] {
+				d := dest(v)
+				if !r.Contains(m, d) {
+					panic(fmt.Sprintf("route: destination %d outside region %v", d, r))
+				}
+				if d == p {
+					delivered[p] = append(delivered[p], v)
+					continue
+				}
+				queues[p] = append(queues[p], gpkt[T]{val: v, dest: d, seq: seq})
+				seq++
+				active++
+			}
+			items[p] = items[p][:0]
+		}
+	}
+
+	// arrivals is reused across cycles to avoid per-cycle allocation;
+	// the selection sweep compacts each queue in place immediately (a
+	// packet arriving this cycle is only appended after the sweep, so
+	// simultaneity is preserved).
+	var arrivals []garrival[T]
+	for active > 0 {
+		steps++
+		arrivals = arrivals[:0]
+		for row := r.R0; row < r.R0+r.H; row++ {
+			for col := r.C0; col < r.C0+r.W; col++ {
+				p := m.IDOf(row, col)
+				q := queues[p]
+				if len(q) == 0 {
+					continue
+				}
+				// best[dir] = queue index of chosen packet, -1 none.
+				var best [4]int
+				var bestDist [4]int
+				for d := range best {
+					best[d] = -1
+				}
+				for i := range q {
+					pk := &q[i]
+					dir, _ := topo.next(p, pk.dest)
+					dist := topo.dist(p, pk.dest)
+					if best[dir] == -1 || dist > bestDist[dir] ||
+						(dist == bestDist[dir] && pk.seq < q[best[dir]].seq) {
+						best[dir] = i
+						bestDist[dir] = dist
+					}
+				}
+				picked := 0
+				for d := 0; d < 4; d++ {
+					if best[d] >= 0 {
+						_, to := topo.next(p, q[best[d]].dest)
+						arrivals = append(arrivals, garrival[T]{to, q[best[d]]})
+						picked++
+					}
+				}
+				if picked > 0 {
+					// Compact in place, dropping the selected indexes.
+					out := q[:0]
+					for i := range q {
+						if i != best[0] && i != best[1] && i != best[2] && i != best[3] {
+							out = append(out, q[i])
+						}
+					}
+					if len(out) == 0 {
+						delete(queues, p)
+					} else {
+						queues[p] = out
+					}
+				}
+			}
+		}
+		if len(arrivals) == 0 {
+			panic("route: greedy router stalled with active packets")
+		}
+		for _, a := range arrivals {
+			if a.to == a.pk.dest {
+				delivered[a.to] = append(delivered[a.to], a.pk.val)
+				active--
+			} else {
+				queues[a.to] = append(queues[a.to], a.pk)
+			}
+		}
+	}
+	return delivered, steps
+}
+
+// nextHop keeps the historical package-internal entry point used by the
+// actor engine (plain mesh topology).
+func nextHop(m *mesh.Machine, p, dest int) (dir, to int) {
+	return meshTopo{m}.next(p, dest)
+}

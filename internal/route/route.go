@@ -1,0 +1,257 @@
+// Package route implements the mesh algorithms the simulation scheme is
+// built from (paper §2): sorting into snake order, ranking via prefix
+// sums, cycle-accurate greedy (dimension-ordered) packet routing, the
+// general (l1,l2)-routing, and the submesh-staged (l1,l2,δ,m)-routing
+// whose superiority under bounded submesh congestion is the engine of
+// the access protocol.
+//
+// Every algorithm is a pure function over per-processor item slices
+// (indexed by absolute processor id) confined to a mesh.Region. It
+// returns the number of machine steps the operation takes under the
+// cost model of DESIGN.md §6 and does not charge the machine itself;
+// callers compose costs (summing sequential phases, taking the maximum
+// over submeshes that operate in parallel) and charge the total.
+//
+// Sorting is shearsort with merge-split blocks — a data-oblivious
+// network, so its step count is a function of the region and block size
+// only. SortSnake runs the network; SortSnakeFast produces the
+// identical result and identical cost without simulating the rounds
+// (tests assert the equivalence), and exists because large experiments
+// would otherwise spend all their time inside the network simulation.
+package route
+
+import (
+	"sort"
+
+	"meshpram/internal/mesh"
+)
+
+// MaxKey is reserved for padding; item keys must be strictly smaller.
+const MaxKey = ^uint64(0)
+
+// Key extracts a sort key from an item. Keys must be < MaxKey.
+type Key[T any] func(T) uint64
+
+// elem wraps an item with its key; pad elements carry key MaxKey.
+type elem[T any] struct {
+	key uint64
+	val T
+}
+
+// maxLoad returns the maximum number of items held by a processor of
+// the region.
+func maxLoad[T any](m *mesh.Machine, r mesh.Region, items [][]T) int {
+	L := 0
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			if l := len(items[m.IDOf(row, col)]); l > L {
+				L = l
+			}
+		}
+	}
+	return L
+}
+
+// totalLoad returns the number of items held in the region.
+func totalLoad[T any](m *mesh.Machine, r mesh.Region, items [][]T) int {
+	t := 0
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			t += len(items[m.IDOf(row, col)])
+		}
+	}
+	return t
+}
+
+// shearSortPhases returns the number of (row,col) iterations shearsort
+// performs for a region of height h.
+func shearSortPhases(h int) int {
+	p := 1
+	for v := 1; v < h; v *= 2 {
+		p++
+	}
+	return p
+}
+
+// SortCost returns the step count of SortSnake on region r with block
+// length L (data-oblivious, so cost is exact, not a bound).
+func SortCost(r mesh.Region, L int) int64 {
+	if L == 0 {
+		return 0
+	}
+	if r.H == 1 {
+		return int64(r.W) * int64(L)
+	}
+	if r.W == 1 {
+		return int64(r.H) * int64(L)
+	}
+	it := shearSortPhases(r.H)
+	return int64(it)*(int64(r.W)+int64(r.H))*int64(L) + int64(r.W)*int64(L)
+}
+
+// SortSnake sorts all items of the region into snake order by key,
+// simulating the shearsort merge-split network round by round. On
+// return every processor holds a block of exactly blockLen slots in the
+// padded layout with pads stripped, so the item at local index i of the
+// processor with snake index s has global rank s·blockLen + i, and the
+// items occupying the lowest ranks are the smallest. steps is the exact
+// network cost (= SortCost(r, blockLen)).
+func SortSnake[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (out [][]T, blockLen int, steps int64) {
+	L := maxLoad(m, r, items)
+	if L == 0 {
+		return items, 0, 0
+	}
+	blocks := loadBlocks(m, r, items, key, L)
+	if r.H == 1 || r.W == 1 {
+		var line []int
+		if r.H == 1 {
+			line = r.RowLine(m, 0)
+		} else {
+			line = r.ColLine(m, 0)
+		}
+		oetLine(blocks, line, L)
+	} else {
+		it := shearSortPhases(r.H)
+		for p := 0; p < it; p++ {
+			for j := 0; j < r.H; j++ {
+				oetLine(blocks, r.RowLine(m, j), L)
+			}
+			for c := 0; c < r.W; c++ {
+				oetLine(blocks, r.ColLine(m, c), L)
+			}
+		}
+		for j := 0; j < r.H; j++ {
+			oetLine(blocks, r.RowLine(m, j), L)
+		}
+	}
+	return storeBlocks(m, r, items, blocks), L, SortCost(r, L)
+}
+
+// SortSnakeFast computes the identical result and cost of SortSnake
+// without simulating the network: it sorts all items of the region
+// globally and redistributes them into snake-ordered blocks of length
+// blockLen = max initial load.
+func SortSnakeFast[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (out [][]T, blockLen int, steps int64) {
+	L := maxLoad(m, r, items)
+	if L == 0 {
+		return items, 0, 0
+	}
+	all := make([]elem[T], 0, totalLoad(m, r, items))
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			for _, v := range items[p] {
+				k := key(v)
+				if k == MaxKey {
+					panic("route: item key equals MaxKey (reserved)")
+				}
+				all = append(all, elem[T]{k, v})
+			}
+			items[p] = items[p][:0]
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
+	out = items
+	for rank, e := range all {
+		p := r.ProcAtSnake(m, rank/L)
+		out[p] = append(out[p], e.val)
+	}
+	return out, L, SortCost(r, L)
+}
+
+// loadBlocks builds padded, locally sorted blocks of exactly L slots.
+func loadBlocks[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T], L int) map[int][]elem[T] {
+	blocks := make(map[int][]elem[T], r.Size())
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			b := make([]elem[T], 0, L)
+			for _, v := range items[p] {
+				k := key(v)
+				if k == MaxKey {
+					panic("route: item key equals MaxKey (reserved)")
+				}
+				b = append(b, elem[T]{k, v})
+			}
+			sort.SliceStable(b, func(i, j int) bool { return b[i].key < b[j].key })
+			var zero T
+			for len(b) < L {
+				b = append(b, elem[T]{MaxKey, zero})
+			}
+			blocks[p] = b
+		}
+	}
+	return blocks
+}
+
+// storeBlocks strips pads and writes blocks back into the items layout.
+func storeBlocks[T any](m *mesh.Machine, r mesh.Region, items [][]T, blocks map[int][]elem[T]) [][]T {
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			items[p] = items[p][:0]
+			for _, e := range blocks[p] {
+				if e.key != MaxKey {
+					items[p] = append(items[p], e.val)
+				}
+			}
+		}
+	}
+	return items
+}
+
+// oetLine performs odd-even transposition with merge-split blocks along
+// the given line of processors: len(line) rounds, each exchanging and
+// splitting neighboring blocks so that the lower-index processor keeps
+// the L smallest of the 2L combined items.
+func oetLine[T any](blocks map[int][]elem[T], line []int, L int) {
+	n := len(line)
+	for round := 0; round < n; round++ {
+		start := round % 2
+		for i := start; i+1 < n; i += 2 {
+			mergeSplit(blocks, line[i], line[i+1], L)
+		}
+	}
+}
+
+// mergeSplit merges the sorted blocks at processors lo and hi and
+// splits the result, smallest L items to lo.
+func mergeSplit[T any](blocks map[int][]elem[T], lo, hi, L int) {
+	a, b := blocks[lo], blocks[hi]
+	merged := make([]elem[T], 0, 2*L)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].key <= b[j].key {
+			merged = append(merged, a[i])
+			i++
+		} else {
+			merged = append(merged, b[j])
+			j++
+		}
+	}
+	merged = append(merged, a[i:]...)
+	merged = append(merged, b[j:]...)
+	copy(a, merged[:L])
+	copy(b, merged[L:])
+}
+
+// PrefixSumSnake computes, for every processor of the region, the
+// exclusive prefix sum of vals in snake order, together with the
+// region-wide total. Cost: one directional row pass, a column pass over
+// row totals and a broadcast-back pass, 3(W−1) + (H−1) steps.
+func PrefixSumSnake(m *mesh.Machine, r mesh.Region, vals []int64) (prefix []int64, total int64, steps int64) {
+	prefix = make([]int64, m.N)
+	var running int64
+	for i := 0; i < r.Size(); i++ {
+		p := r.ProcAtSnake(m, i)
+		prefix[p] = running
+		running += vals[p]
+	}
+	return prefix, running, 3*int64(r.W-1) + int64(r.H-1)
+}
+
+// BroadcastCost is the step count of broadcasting one word from a
+// corner to every processor of the region (row pass + column passes).
+func BroadcastCost(r mesh.Region) int64 {
+	return int64(r.W-1) + int64(r.H-1)
+}

@@ -1,0 +1,188 @@
+// Package stats provides the small measurement toolkit the experiment
+// harness uses: power-law fits on log-log data (to compare measured
+// slowdown exponents against the theorem exponents), aligned table
+// rendering, and ASCII series plots for the "figures".
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PowerFit fits y = coef · x^exp by least squares on (log x, log y).
+// All inputs must be positive; it panics otherwise or on length
+// mismatch or fewer than two points.
+func PowerFit(xs, ys []float64) (exp, coef float64) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: PowerFit needs ≥ 2 aligned points")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			panic("stats: PowerFit requires positive data")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	exp = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	coef = math.Exp((sy - exp*sx) / n)
+	return exp, coef
+}
+
+// Table renders rows with aligned columns. The first row is treated as
+// the header and underlined.
+type Table struct {
+	rows [][]string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	if len(t.rows) == 0 {
+		return
+	}
+	width := make([]int, 0)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i >= len(width) {
+				width = append(width, 0)
+			}
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(r []string) {
+		parts := make([]string, len(r))
+		for i, c := range r {
+			parts[i] = fmt.Sprintf("%-*s", width[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.rows[0])
+	total := len(width) - 1
+	for _, wd := range width {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, "  "+strings.Repeat("-", total))
+	for _, r := range t.rows[1:] {
+		line(r)
+	}
+}
+
+// Series is a named (x, y) sequence for plotting.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as a crude ASCII scatter with log-scaled axes
+// when the data spans more than a decade. Height and width are in
+// character cells.
+func Plot(w io.Writer, width, height int, series ...Series) {
+	var minX, maxX, minY, maxY float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				minX, maxX, minY, maxY = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if first {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	logX := minX > 0 && maxX/math.Max(minX, 1e-300) > 10
+	logY := minY > 0 && maxY/math.Max(minY, 1e-300) > 10
+	tx := func(v float64) float64 {
+		if logX {
+			return math.Log(v)
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if logY {
+			return math.Log(v)
+		}
+		return v
+	}
+	x0, x1, y0, y1 := tx(minX), tx(maxX), ty(minY), ty(maxY)
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	if y1 == y0 {
+		y1 = y0 + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((tx(s.X[i]) - x0) / (x1 - x0) * float64(width-1))
+			r := height - 1 - int((ty(s.Y[i])-y0)/(y1-y0)*float64(height-1))
+			if c >= 0 && c < width && r >= 0 && r < height {
+				grid[r][c] = mark
+			}
+		}
+	}
+	scale := func(b bool) string {
+		if b {
+			return "log"
+		}
+		return "lin"
+	}
+	fmt.Fprintf(w, "  y: %.4g..%.4g (%s)\n", minY, maxY, scale(logY))
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "  x: %.4g..%.4g (%s)   ", minX, maxX, scale(logX))
+	for si, s := range series {
+		fmt.Fprintf(w, "[%c] %s  ", marks[si%len(marks)], s.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		if v <= 0 {
+			panic("stats: GeoMean requires positive values")
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vals)))
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerFitExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	exp, coef := PowerFit(xs, ys)
+	if math.Abs(exp-1.5) > 1e-9 || math.Abs(coef-3) > 1e-9 {
+		t.Fatalf("exp=%f coef=%f", exp, coef)
+	}
+}
+
+func TestPowerFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for x := 10.0; x < 1e5; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 7*math.Pow(x, 0.5)*(1+0.05*rng.Float64()))
+	}
+	exp, _ := PowerFit(xs, ys)
+	if exp < 0.45 || exp > 0.55 {
+		t.Fatalf("noisy exponent %f", exp)
+	}
+}
+
+func TestPowerFitPanics(t *testing.T) {
+	for _, c := range []struct{ xs, ys []float64 }{
+		{[]float64{1}, []float64{1}},
+		{[]float64{1, 2}, []float64{1}},
+		{[]float64{1, -2}, []float64{1, 2}},
+		{[]float64{1, 2}, []float64{0, 2}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v %v", c.xs, c.ys)
+				}
+			}()
+			PowerFit(c.xs, c.ys)
+		}()
+	}
+}
+
+func TestQuickPowerFitRecovers(t *testing.T) {
+	prop := func(e8, c8 uint8) bool {
+		exp := 0.25 + float64(e8)/256.0*2 // in [0.25, 2.25)
+		coef := 0.5 + float64(c8)/64.0    // in [0.5, 4.5)
+		xs := []float64{2, 4, 8, 16, 32, 64}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = coef * math.Pow(x, exp)
+		}
+		ge, gc := PowerFit(xs, ys)
+		return math.Abs(ge-exp) < 1e-6 && math.Abs(gc-coef) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	var tb Table
+	tb.Add("n", "steps", "ratio")
+	tb.Add(729, 12345, 1.2345678)
+	tb.Add(6561, 99999, 0.5)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "729") || !strings.Contains(out, "1.235") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	var sb strings.Builder
+	tb.Render(&sb)
+	if sb.Len() != 0 {
+		t.Fatal("empty table rendered output")
+	}
+}
+
+func TestPlot(t *testing.T) {
+	var sb strings.Builder
+	Plot(&sb, 40, 10,
+		Series{Name: "a", X: []float64{1, 10, 100, 1000}, Y: []float64{1, 2, 4, 8}},
+		Series{Name: "b", X: []float64{1, 10, 100, 1000}, Y: []float64{8, 4, 2, 1}},
+	)
+	out := sb.String()
+	if !strings.Contains(out, "[o] a") || !strings.Contains(out, "[x] b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "log") {
+		t.Fatalf("x axis should be log-scaled:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	Plot(&sb, 10, 5)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty plot not flagged")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean = %f", g)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty GeoMean")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive GeoMean did not panic")
+		}
+	}()
+	GeoMean([]float64{1, -1})
+}
