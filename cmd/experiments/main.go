@@ -4,18 +4,25 @@
 //
 // Usage:
 //
-//	experiments [-only E5] [-big] [-parallel N] [-seed S]
+//	experiments [-only E5] [-big] [-workers N] [-seed S] [-json]
 //
 // -big adds the largest machine sizes (minutes instead of seconds);
-// -parallel runs the mesh engine on N goroutines (0 = GOMAXPROCS).
+// -workers runs the mesh engine on N goroutines (0 = GOMAXPROCS;
+// -parallel is a deprecated alias); -json additionally writes one
+// BENCH_<ID>.json per experiment (charged steps, phase breakdown,
+// wall time, and the cost-ledger trees of the exercised execution
+// paths) into the -out directory, or the working directory when -out
+// is unset.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"meshpram/internal/experiments"
 )
@@ -23,18 +30,31 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E5)")
 	big := flag.Bool("big", false, "include the largest machine sizes")
-	parallel := flag.Int("parallel", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 1, "deprecated alias for -workers")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
+	jsonOut := flag.Bool("json", false, "write BENCH_<ID>.json per experiment (to -out dir, or .)")
 	flag.Parse()
 
-	cfg := experiments.Config{Big: *big, Workers: *parallel, Seed: *seed}
+	// -workers wins when both are given; -parallel alone keeps working.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["parallel"] && !set["workers"] {
+		*workers = *parallel
+	}
+
+	cfg := experiments.Config{Big: *big, Workers: *workers, Seed: *seed}
 	if *list {
 		for _, e := range experiments.All {
 			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
 		}
 		return
+	}
+	jsonDir := *outDir
+	if jsonDir == "" {
+		jsonDir = "."
 	}
 	runOne := func(e experiments.Experiment) error {
 		var w io.Writer = os.Stdout
@@ -52,7 +72,25 @@ func main() {
 			w = io.MultiWriter(os.Stdout, f)
 		}
 		fmt.Fprintf(w, "\n== %s: %s ==\n\n", e.ID, e.Claim)
-		return e.Run(w, cfg)
+		cfg := cfg
+		if *jsonOut {
+			cfg.Report = &experiments.Report{ID: e.ID, Claim: e.Claim}
+		}
+		start := time.Now()
+		if err := e.Run(w, cfg); err != nil {
+			return err
+		}
+		if cfg.Report != nil {
+			cfg.Report.WallNs = time.Since(start).Nanoseconds()
+			buf, err := json.MarshalIndent(cfg.Report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(filepath.Join(jsonDir, "BENCH_"+e.ID+".json"), append(buf, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	if *only != "" {

@@ -5,7 +5,10 @@
 // Usage:
 //
 //	pramsim -program prefixsum|listrank|matvec [-side 9] [-q 3] [-d 3]
-//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-parallel N]
+//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-workers N] [-trace]
+//
+// -trace prints the cost-ledger tree of the last simulated PRAM step;
+// -parallel is a deprecated alias for -workers.
 package main
 
 import (
@@ -17,6 +20,8 @@ import (
 	"meshpram/internal/core"
 	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/stats"
+	"meshpram/internal/trace"
 )
 
 func main() {
@@ -27,9 +32,17 @@ func main() {
 	k := flag.Int("k", 2, "HMOS levels")
 	size := flag.Int("n", 64, "problem size")
 	backend := flag.String("backend", "both", "both | ideal | mesh")
-	parallel := flag.Int("parallel", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	parallel := flag.Int("parallel", 1, "deprecated alias for -workers")
+	showTrace := flag.Bool("trace", false, "print the cost-ledger tree of the last PRAM step")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["parallel"] && !set["workers"] {
+		*workers = *parallel
+	}
 
 	build := func() pram.Program {
 		rng := rand.New(rand.NewSource(*seed))
@@ -81,7 +94,7 @@ func main() {
 		fmt.Printf("ideal PRAM:  %d PRAM steps, cost %d\n", steps, id.Steps())
 	}
 	if *backend == "both" || *backend == "mesh" {
-		mb, err := pram.NewMesh(params, core.Config{Workers: *parallel}, nil)
+		mb, err := pram.NewMesh(params, core.Config{Workers: *workers}, nil)
 		fatalIf(err)
 		s := mb.Sim.Scheme()
 		fmt.Printf("mesh:        side=%d n=%d M=%d (alpha=%.3f) q=%d k=%d redundancy=%d\n",
@@ -91,6 +104,10 @@ func main() {
 		pramSteps = steps
 		meshSteps = mb.Steps()
 		fmt.Printf("mesh:        %d PRAM steps simulated in %d mesh steps\n", steps, meshSteps)
+		if *showTrace {
+			fmt.Printf("\ncost ledger of the last PRAM step:\n")
+			stats.RenderTrace(os.Stdout, trace.Export(mb.Sim.Ledger().Last()))
+		}
 	}
 	if *backend == "both" && pramSteps > 0 {
 		fmt.Printf("slowdown:    %.1f mesh steps per PRAM step (n=%d, sqrt(n)=%d)\n",

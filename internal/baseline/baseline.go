@@ -15,7 +15,10 @@
 // Both run on the same mesh substrate and cost model as internal/core:
 // requests are routed with a sorted greedy (l1,l2)-routing and return
 // to their origins, and every charged step comes from the same
-// primitives in internal/route.
+// primitives in internal/route. Each Step builds one span tree on the
+// machine's cost ledger (sort/forward/access/return charged leaves plus
+// the route layer's observe detail); StepCost is the phase-total view
+// of that tree.
 package baseline
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
+	"meshpram/internal/trace"
 )
 
 // Word mirrors core.Word.
@@ -66,6 +70,7 @@ func NewNoReplication(side, vars int) (*NoReplication, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.AttachLedger(trace.New())
 	return &NoReplication{
 		M:     m,
 		Vars:  vars,
@@ -110,8 +115,9 @@ type nrPkt struct {
 // Step executes one batch of distinct-variable requests and returns
 // read results aligned with ops plus the cost breakdown.
 func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
-	var cost StepCost
 	m := b.M
+	ld := m.Ledger()
+	step := ld.Begin("step", trace.PhaseOther)
 	pkts := make([][]nrPkt, m.N)
 	seen := make(map[int]bool, len(ops))
 	for i, op := range ops {
@@ -127,11 +133,16 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 			v: op.Var, isW: op.IsWrite, val: op.Value,
 		})
 	}
+	step.AddPackets(int64(len(ops)))
 	full := m.Full()
 	sorted, _, sortSteps := route.SortSnakeFast(m, full, pkts, func(p nrPkt) uint64 { return uint64(p.dest) })
-	cost.Sort = sortSteps
+	lf := ld.Begin("sort", trace.PhaseSort)
+	m.AddSteps(sortSteps)
+	lf.End()
 	delivered, cycles := route.GreedyRoute(m, full, sorted, func(p nrPkt) int { return p.dest })
-	cost.Forward = cycles
+	lf = ld.Begin("forward", trace.PhaseForward)
+	m.AddSteps(cycles)
+	lf.End()
 
 	maxPer := 0
 	for p := range delivered {
@@ -152,10 +163,14 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 			}
 		}
 	}
-	cost.Access = int64(maxPer)
+	lf = ld.Begin("access", trace.PhaseAccess)
+	m.AddSteps(int64(maxPer))
+	lf.End()
 
 	home, back := route.GreedyRoute(m, full, delivered, func(p nrPkt) int { return p.origin })
-	cost.Return = back
+	lf = ld.Begin("return", trace.PhaseReturn)
+	m.AddSteps(back)
+	lf.End()
 
 	res := make([]Word, len(ops))
 	for p := range home {
@@ -170,8 +185,19 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 			res[i] = op.Value
 		}
 	}
-	m.AddSteps(cost.Total())
-	return res, cost
+	step.End()
+	return res, costFromSpan(step)
+}
+
+// costFromSpan is the StepCost view of one baseline step tree.
+func costFromSpan(step *trace.Span) StepCost {
+	pt := step.PhaseTotals()
+	return StepCost{
+		Sort:    pt[trace.PhaseSort],
+		Forward: pt[trace.PhaseForward],
+		Access:  pt[trace.PhaseAccess],
+		Return:  pt[trace.PhaseReturn],
+	}
 }
 
 // --- RandomMOS ----------------------------------------------------------
@@ -203,6 +229,7 @@ func NewRandomMOS(side, vars, c int, seed int64) (*RandomMOS, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.AttachLedger(trace.New())
 	rng := rand.New(rand.NewSource(seed))
 	b := &RandomMOS{
 		M: m, C: c, vars: vars,
@@ -244,8 +271,9 @@ type rmPkt struct {
 // its 2c−1 copies (round-robin rotation per step for load spreading)
 // are accessed; reads return the most recent timestamp.
 func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
-	var cost StepCost
 	m := b.M
+	ld := m.Ledger()
+	step := ld.Begin("step", trace.PhaseOther)
 	b.now++
 	pkts := make([][]rmPkt, m.N)
 	seen := make(map[int]bool, len(ops))
@@ -268,11 +296,16 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 			})
 		}
 	}
+	step.AddPackets(int64(len(ops) * b.C))
 	full := m.Full()
 	sorted, _, sortSteps := route.SortSnakeFast(m, full, pkts, func(p rmPkt) uint64 { return uint64(p.dest) })
-	cost.Sort = sortSteps
+	lf := ld.Begin("sort", trace.PhaseSort)
+	m.AddSteps(sortSteps)
+	lf.End()
 	delivered, cycles := route.GreedyRoute(m, full, sorted, func(p rmPkt) int { return p.dest })
-	cost.Forward = cycles
+	lf = ld.Begin("forward", trace.PhaseForward)
+	m.AddSteps(cycles)
+	lf.End()
 
 	maxPer := 0
 	for p := range delivered {
@@ -293,10 +326,14 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 			}
 		}
 	}
-	cost.Access = int64(maxPer)
+	lf = ld.Begin("access", trace.PhaseAccess)
+	m.AddSteps(int64(maxPer))
+	lf.End()
 
 	home, back := route.GreedyRoute(m, full, delivered, func(p rmPkt) int { return p.origin })
-	cost.Return = back
+	lf = ld.Begin("return", trace.PhaseReturn)
+	m.AddSteps(back)
+	lf.End()
 
 	res := make([]Word, len(ops))
 	best := make([]int64, len(ops))
@@ -316,6 +353,6 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 			res[i] = op.Value
 		}
 	}
-	m.AddSteps(cost.Total())
-	return res, cost
+	step.End()
+	return res, costFromSpan(step)
 }

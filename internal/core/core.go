@@ -13,6 +13,15 @@
 // ranking are charged their exact data-oblivious round counts, packet
 // routing is simulated cycle by cycle, and phases that run in disjoint
 // submeshes in parallel are charged the maximum over the submeshes.
+//
+// Accounting runs through the unified cost ledger (internal/trace):
+// Step builds one span tree per PRAM step — culling, the protocol
+// stages (each with charged sort/rank/forward leaves and observe-only
+// per-submesh detail from internal/route), access, the return legs and
+// the result combination — and charges every phase to the machine while
+// the phase's span is active. StepStats is a typed view computed from
+// that tree (StatsFromSpan); the machine's step counter and the tree's
+// Total agree by construction.
 package core
 
 import (
@@ -22,6 +31,7 @@ import (
 	"meshpram/internal/hmos"
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
+	"meshpram/internal/trace"
 )
 
 // Word is the PRAM machine word.
@@ -111,12 +121,61 @@ func (st *StepStats) Total() int64 {
 	return st.Culling + st.Sort + st.Rank + st.Forward + st.Access + st.Return
 }
 
+// StatsFromSpan computes the StepStats view from one PRAM-step span
+// tree as built by Simulator.Step (K = the scheme's hierarchy depth).
+// Phase fields come from the tree's charged phase totals; the per-stage
+// arrays and Theorem-3 diagnostics come from span attributes. A nil
+// span yields zeroed (but allocated) stats.
+func StatsFromSpan(step *trace.Span, K int) *StepStats {
+	st := &StepStats{
+		StageForward:  make([]int64, K+2),
+		Delta:         make([]int, K+2),
+		PageLoadMax:   make([]int, K+1),
+		PageLoadBound: make([]int, K+1),
+	}
+	if step == nil {
+		return st
+	}
+	pt := step.PhaseTotals()
+	st.Culling = pt[trace.PhaseCulling]
+	st.Sort = pt[trace.PhaseSort]
+	st.Rank = pt[trace.PhaseRank]
+	st.Forward = pt[trace.PhaseForward]
+	st.Access = pt[trace.PhaseAccess]
+	st.Return = pt[trace.PhaseReturn]
+	st.Packets = int(step.Packets())
+	for _, c := range step.Children() {
+		if s, ok := c.Attr("stage"); ok && int(s) < len(st.StageForward) {
+			st.StageForward[s] = c.Total()
+		}
+		if di, ok := c.Attr("delta-index"); ok && int(di) < len(st.Delta) {
+			if d, ok2 := c.Attr("delta"); ok2 {
+				st.Delta[di] = int(d)
+			}
+		}
+		if c.Name() == "culling" {
+			for i := 1; i <= K; i++ {
+				if v, ok := c.Attr(fmt.Sprintf("pageload-max-%d", i)); ok {
+					st.PageLoadMax[i] = int(v)
+				}
+				if v, ok := c.Attr(fmt.Sprintf("pageload-bound-%d", i)); ok {
+					st.PageLoadBound[i] = int(v)
+				}
+			}
+		}
+	}
+	return st
+}
+
 // Simulator is a PRAM shared memory of hmos-organized replicated
 // variables living on a mesh.
 type Simulator struct {
 	S   *hmos.Scheme
 	M   *mesh.Machine
 	cfg Config
+
+	ld    *trace.Ledger // the step ledger, attached to M
+	arena *pktArena     // recycled per-processor packet buffers
 
 	// store[p] is processor p's local memory module: copy slot id →
 	// (value, timestamp). Lazily populated; absent means (0, 0).
@@ -146,10 +205,14 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 	if cfg.Workers != 1 {
 		m.SetParallel(cfg.Workers)
 	}
+	ld := trace.New()
+	m.AttachLedger(ld)
 	return &Simulator{
 		S:     s,
 		M:     m,
 		cfg:   cfg,
+		ld:    ld,
+		arena: newPktArena(m.N),
 		store: make([]map[int64]cell, m.N),
 	}, nil
 }
@@ -168,6 +231,10 @@ func (sim *Simulator) Scheme() *hmos.Scheme { return sim.S }
 
 // Mesh returns the machine; its step counter accumulates across Steps.
 func (sim *Simulator) Mesh() *mesh.Machine { return sim.M }
+
+// Ledger returns the simulator's cost ledger; Ledger().Last() is the
+// span tree of the most recent Step.
+func (sim *Simulator) Ledger() *trace.Ledger { return sim.ld }
 
 // Now returns the PRAM step counter.
 func (sim *Simulator) Now() int64 { return sim.now }
@@ -195,24 +262,21 @@ type pkt struct {
 // written value) and the cost breakdown. All charged steps are also
 // added to the machine's counter.
 func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
-	s, m := sim.S, sim.M
+	s, m, ld := sim.S, sim.M, sim.ld
 	K := s.K
 	sim.now++
-	st := &StepStats{
-		StageForward:  make([]int64, K+2),
-		Delta:         make([]int, K+2),
-		PageLoadMax:   make([]int, K+1),
-		PageLoadBound: make([]int, K+1),
-	}
 
 	if len(ops) == 0 {
-		return nil, st
+		return nil, StatsFromSpan(nil, K)
 	}
 	if len(ops) > m.N {
 		panic(fmt.Sprintf("core: %d ops exceed %d processors", len(ops), m.N))
 	}
 
+	step := ld.Begin("step", trace.PhaseOther)
+
 	// 1. Copy selection.
+	csp := ld.Begin("culling", trace.PhaseCulling)
 	reqs := make([]culling.Request, len(ops))
 	for i, op := range ops {
 		reqs[i] = culling.Request{Origin: op.Origin, Var: op.Var}
@@ -226,13 +290,16 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 	default:
 		sel = culling.Run(s, m, reqs)
 	}
-	st.Culling = sel.Steps
+	m.AddSteps(sel.Steps)
 	for i := 1; i <= K; i++ {
-		st.PageLoadMax[i], st.PageLoadBound[i] = sel.MaxLoad(i)
+		mx, bd := sel.MaxLoad(i)
+		csp.SetAttr(fmt.Sprintf("pageload-max-%d", i), int64(mx))
+		csp.SetAttr(fmt.Sprintf("pageload-bound-%d", i), int64(bd))
 	}
+	csp.End()
 
 	// 2. Build packets at their origins.
-	pkts := make([][]pkt, m.N)
+	pkts := sim.arena.get()
 	var seq int32
 	for i, op := range ops {
 		for _, c := range sel.Selected[i] {
@@ -247,22 +314,22 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 				wp:     []int32{int32(op.Origin)},
 			})
 			seq++
-			st.Packets++
 		}
 	}
+	step.AddPackets(int64(seq))
 
 	// 3. Forward journey.
 	if sim.cfg.DirectRouting {
-		sim.routeDirect(pkts, st)
+		sim.routeDirect(pkts)
 	} else {
-		sim.routeStagedForward(pkts, st)
+		sim.routeStagedForward(pkts)
 	}
 
 	// 4. Access the copies.
-	sim.access(pkts, st)
+	sim.access(pkts)
 
 	// 5. Return journey along recorded waypoints.
-	sim.routeReturn(pkts, st)
+	sim.routeReturn(pkts)
 
 	// 6. Collect read results: most recent timestamp wins.
 	results := make([]Word, len(ops))
@@ -287,17 +354,21 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 				results[pk.op] = pk.val
 			}
 		}
+		pkts[p] = pkts[p][:0]
 	}
+	sim.arena.put(pkts)
 	for i, op := range ops {
 		if op.IsWrite {
 			results[i] = op.Value
 		}
 	}
 	// Local result combination: one step per returned packet.
-	st.Access += int64(maxHome)
+	combine := ld.Begin("combine", trace.PhaseAccess)
+	m.AddSteps(int64(maxHome))
+	combine.End()
 
-	m.AddSteps(st.Total())
-	return results, st
+	step.End()
+	return results, StatsFromSpan(step, K)
 }
 
 // routeStagedForward runs protocol stages K+1 … 1 (§3.3): at stage
@@ -305,14 +376,18 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 // packets are sorted by destination child submesh, ranked, and routed
 // to balanced positions inside the child; stage 1 delivers each packet
 // to its final processor inside its level-1 submesh.
-func (sim *Simulator) routeStagedForward(pkts [][]pkt, st *StepStats) {
-	s, m := sim.S, sim.M
+func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
+	s, m, ld := sim.S, sim.M, sim.ld
 	K := s.K
 	q := s.Q
 	for stage := K + 1; stage >= 2; stage-- {
 		parents := sim.stageRegions(stage)
 		childParts := sim.childParts(stage)
-		st.Delta[stage] = maxLoadAll(m, pkts)
+
+		ssp := ld.BeginPar(fmt.Sprintf("stage-%d", stage), trace.PhaseOther)
+		ssp.SetAttr("stage", int64(stage))
+		ssp.SetAttr("delta-index", int64(stage))
+		ssp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 
 		var maxSort, maxRank, maxRoute int64
 		for pi, parent := range parents {
@@ -333,6 +408,8 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt, st *StepStats) {
 			if rankSteps > maxRank {
 				maxRank = rankSteps
 			}
+			rsp := ld.Begin("rank", trace.PhaseRank)
+			rsp.Observe(rankSteps)
 			children := sim.childRegions(stage, pi)
 			groupSeen := make(map[int]int, childParts)
 			for i := 0; i < parent.Size(); i++ {
@@ -346,6 +423,7 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt, st *StepStats) {
 					pk.ts = int64(reg.ProcAtSnake(m, rank%reg.Size())) // stash intermediate in ts
 				}
 			}
+			rsp.End()
 			routed, cycles := sim.routeIn(parent, stage == K+1, sorted, func(p pkt) int { return int(p.ts) })
 			if cycles > maxRoute {
 				maxRoute = cycles
@@ -358,61 +436,91 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt, st *StepStats) {
 					pk.wp = append(pk.wp, int32(p))
 					pkts[p] = append(pkts[p], pk)
 				}
+				routed[p] = routed[p][:0]
 			}
+			sim.arena.put(routed)
 		}
-		st.Sort += maxSort
-		st.Rank += maxRank
-		st.Forward += maxRoute
-		st.StageForward[stage] = maxSort + maxRank + maxRoute
+		// The stage's charge: each phase pays the max over parents, since
+		// all parent submeshes operate in parallel.
+		lf := ld.Begin("sort", trace.PhaseSort)
+		m.AddSteps(maxSort)
+		lf.End()
+		lf = ld.Begin("rank", trace.PhaseRank)
+		m.AddSteps(maxRank)
+		lf.End()
+		lf = ld.Begin("forward", trace.PhaseForward)
+		m.AddSteps(maxRoute)
+		lf.End()
+		ssp.End()
 	}
 
 	// Stage 1: deliver within level-1 submeshes.
-	st.Delta[1] = maxLoadAll(m, pkts)
+	ssp := ld.BeginPar("stage-1", trace.PhaseOther)
+	ssp.SetAttr("stage", 1)
+	ssp.SetAttr("delta-index", 1)
+	ssp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 	var maxRoute int64
 	for _, reg := range sim.S.Tess[1] {
 		if regionEmpty(m, reg, pkts) {
 			continue
 		}
-		delivered, cycles := route.GreedyRoute(m, reg, pkts, func(p pkt) int { return p.dest })
+		delivered, cycles := sim.routeIn(reg, false, pkts, func(p pkt) int { return p.dest })
 		if cycles > maxRoute {
 			maxRoute = cycles
 		}
 		mergeBack(m, reg, pkts, delivered)
+		sim.arena.put(delivered)
 	}
-	st.Forward += maxRoute
-	st.StageForward[1] = maxRoute
+	lf := ld.Begin("forward", trace.PhaseForward)
+	m.AddSteps(maxRoute)
+	lf.End()
+	ssp.End()
 }
 
 // routeDirect is the E12 ablation: one global sorted greedy routing.
-func (sim *Simulator) routeDirect(pkts [][]pkt, st *StepStats) {
-	m := sim.M
+func (sim *Simulator) routeDirect(pkts [][]pkt) {
+	m, ld := sim.M, sim.ld
 	full := m.Full()
-	st.Delta[len(st.Delta)-1] = maxLoadAll(m, pkts)
+	dsp := ld.BeginPar("direct", trace.PhaseOther)
+	dsp.SetAttr("stage", 1)
+	dsp.SetAttr("delta-index", int64(sim.S.K+1))
+	dsp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 	sorted, _, sortSteps := sim.sortSnake(full, pkts, func(p pkt) uint64 {
 		return uint64(uint32(p.dest))<<24 | uint64(uint32(p.seq))
 	})
-	st.Sort += sortSteps
+	lf := ld.Begin("sort", trace.PhaseSort)
+	m.AddSteps(sortSteps)
+	lf.End()
 	delivered, cycles := sim.routeIn(full, true, sorted, func(p pkt) int { return p.dest })
-	st.Forward += cycles
-	st.StageForward[1] = sortSteps + cycles
+	lf = ld.Begin("forward", trace.PhaseForward)
+	m.AddSteps(cycles)
+	lf.End()
 	for p := range delivered {
 		for _, pk := range delivered[p] {
 			pk.wp = append(pk.wp, int32(pk.origin)) // direct return
 			pkts[p] = append(pkts[p], pk)
 		}
+		delivered[p] = delivered[p][:0]
 	}
+	sim.arena.put(delivered)
+	dsp.End()
 }
 
-// access performs the local read/write of every delivered packet.
-func (sim *Simulator) access(pkts [][]pkt, st *StepStats) {
+// access performs the local read/write of every delivered packet. The
+// per-processor loops touch disjoint state, so they run through the
+// machine's execution engine (parallel when Workers > 1); the max-load
+// scan stays sequential.
+func (sim *Simulator) access(pkts [][]pkt) {
 	maxPer := 0
 	for p := range pkts {
-		if len(pkts[p]) == 0 {
-			continue
-		}
 		if len(pkts[p]) > maxPer {
 			maxPer = len(pkts[p])
 		}
+	}
+	asp := sim.ld.Begin("access", trace.PhaseAccess)
+	asp.SetAttr("delta-index", 0)
+	asp.SetAttr("delta", int64(maxPer))
+	sim.M.ForEach(func(p int) {
 		for j := range pkts[p] {
 			pk := &pkts[p][j]
 			if pk.dest != p {
@@ -432,22 +540,28 @@ func (sim *Simulator) access(pkts [][]pkt, st *StepStats) {
 				pk.val, pk.ts = c.val, c.ts
 			}
 		}
-	}
-	st.Access += int64(maxPer)
-	st.Delta[0] = maxPer
+	})
+	sim.M.AddSteps(int64(maxPer))
+	asp.End()
 }
 
 // routeReturn retraces the waypoints in reverse: leg ℓ (0-based) routes
 // within the level-(ℓ+1) submeshes (full mesh on the last leg) from the
 // current position to waypoint wp[len−1−ℓ].
-func (sim *Simulator) routeReturn(pkts [][]pkt, st *StepStats) {
-	s, m := sim.S, sim.M
+func (sim *Simulator) routeReturn(pkts [][]pkt) {
+	s, m, ld := sim.S, sim.M, sim.ld
 	if sim.cfg.DirectRouting {
+		lsp := ld.Begin("return-leg-0", trace.PhaseOther)
 		delivered, cycles := sim.routeIn(m.Full(), true, pkts, func(p pkt) int { return p.origin })
-		st.Return += cycles
+		lf := ld.Begin("return", trace.PhaseReturn)
+		m.AddSteps(cycles)
+		lf.End()
 		for p := range delivered {
 			pkts[p] = append(pkts[p], delivered[p]...)
+			delivered[p] = delivered[p][:0]
 		}
+		sim.arena.put(delivered)
+		lsp.End()
 		return
 	}
 	K := s.K
@@ -458,6 +572,7 @@ func (sim *Simulator) routeReturn(pkts [][]pkt, st *StepStats) {
 		} else {
 			regions = s.Tess[leg+1]
 		}
+		lsp := ld.BeginPar(fmt.Sprintf("return-leg-%d", leg), trace.PhaseOther)
 		target := func(p pkt) int { return int(p.wp[len(p.wp)-1-leg]) }
 		var maxCycles int64
 		for _, reg := range regions {
@@ -469,8 +584,12 @@ func (sim *Simulator) routeReturn(pkts [][]pkt, st *StepStats) {
 				maxCycles = cycles
 			}
 			mergeBack(m, reg, pkts, delivered)
+			sim.arena.put(delivered)
 		}
-		st.Return += maxCycles
+		lf := ld.Begin("return", trace.PhaseReturn)
+		m.AddSteps(maxCycles)
+		lf.End()
+		lsp.End()
 	}
 }
 
@@ -510,11 +629,14 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
 
 // routeIn routes packets within a region, using torus links when the
 // configuration enables them and the region spans the whole machine.
+// The delivery buffer comes from the simulator's arena; the caller must
+// return it via arena.put once its entries are drained and truncated.
 func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, dest func(pkt) int) ([][]pkt, int64) {
+	buf := sim.arena.get()
 	if sim.cfg.Torus && fullMachine {
-		return route.GreedyRouteTorus(sim.M, items, dest)
+		return route.GreedyRouteTorusInto(buf, sim.M, items, dest)
 	}
-	return route.GreedyRoute(sim.M, r, items, dest)
+	return route.GreedyRouteInto(buf, sim.M, r, items, dest)
 }
 
 // sortSnake dispatches to the simulated sorting network or its
@@ -576,11 +698,14 @@ func regionEmpty(m *mesh.Machine, r mesh.Region, pkts [][]pkt) bool {
 	return true
 }
 
+// mergeBack drains delivered packets into pkts, truncating each drained
+// entry so the delivery buffer can go straight back to the arena.
 func mergeBack(m *mesh.Machine, r mesh.Region, pkts, delivered [][]pkt) {
 	for row := r.R0; row < r.R0+r.H; row++ {
 		for col := r.C0; col < r.C0+r.W; col++ {
 			p := m.IDOf(row, col)
 			pkts[p] = append(pkts[p], delivered[p]...)
+			delivered[p] = delivered[p][:0]
 		}
 	}
 }

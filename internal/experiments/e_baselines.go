@@ -9,6 +9,7 @@ import (
 	"meshpram/internal/core"
 	"meshpram/internal/hmos"
 	"meshpram/internal/stats"
+	"meshpram/internal/trace"
 	"meshpram/internal/workload"
 )
 
@@ -75,6 +76,7 @@ func RunE8(w io.Writer, cfg Config) error {
 	_, hmCost3 := sim.Step(rv.Reads())
 	tb.Add("uniform random", "single-copy", nrCost3.Total(), nrCost3.Access)
 	tb.Add("uniform random", "HMOS (paper)", hmCost3.Total(), hmCost3.Access)
+	cfg.Report.AddTrace("baseline-norep", trace.Export(nr.M.Ledger().Last()))
 
 	tb.Render(w)
 	fmt.Fprintln(w, "\n  On its worst case (part A) the single-copy scheme serializes the whole")
@@ -124,6 +126,22 @@ func RunE10(w io.Writer, cfg Config) error {
 	tb.Render(w)
 	fmt.Fprintln(w, "\n  The constructive map is O(q^k + k) words per processor regardless of M;")
 	fmt.Fprintln(w, "  the random-graph map grows linearly with the shared memory.")
+	if cfg.Report != nil {
+		// A small extra batch (not part of the table above, which only
+		// compares map sizes) so the random-MOS execution path also
+		// contributes a ledger tree to the JSON report.
+		rm, err := baseline.NewRandomMOS(9, 500, 2, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		rv := workload.RandomDistinct(500, 81, cfg.Seed)
+		ops := make([]baseline.Op, len(rv))
+		for i, v := range rv {
+			ops[i] = baseline.Op{Origin: i % 81, Var: v, IsWrite: i%2 == 0, Value: int64(i)}
+		}
+		rm.Step(ops)
+		cfg.Report.AddTrace("baseline-randmos", trace.Export(rm.M.Ledger().Last()))
+	}
 	return nil
 }
 
@@ -193,6 +211,9 @@ func RunE12(w io.Writer, cfg Config) error {
 		} {
 			_, st := sim.Step(wl.vars.Reads())
 			tb.Add(v.name, wl.name, st.Culling, st.Sort, st.Forward, st.Return, st.Access, st.Total())
+		}
+		if v.cfg.DirectRouting && !v.cfg.DisableCulling {
+			cfg.Report.AddTrace("core-direct", trace.Export(sim.Ledger().Last()))
 		}
 	}
 	tb.Render(w)

@@ -8,6 +8,7 @@ import (
 	"meshpram/internal/hmos"
 	"meshpram/internal/mpc"
 	"meshpram/internal/stats"
+	"meshpram/internal/trace"
 	"meshpram/internal/workload"
 )
 
@@ -48,6 +49,7 @@ func RunE18(w io.Writer, cfg Config) error {
 			opsMPC[i] = mpc.Op{Origin: i, Var: v}
 		}
 		_, stMPC := m.Step(opsMPC)
+		cfg.Report.AddTrace("mpc", trace.Export(m.Ledger().Last()))
 		_, stMesh := sim.Step(rvMesh.Reads())
 		tb.Add(n, "random", stMPC.MaxLoad, stMPC.Steps, stMesh.Total(),
 			float64(stMesh.Total())/float64(stMPC.Steps))

@@ -8,6 +8,7 @@ import (
 	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
 	"meshpram/internal/stats"
+	"meshpram/internal/trace"
 )
 
 // RunE15 measures the slowdown at the application level: whole PRAM
@@ -55,6 +56,7 @@ func RunE15(w io.Writer, cfg Config) error {
 			}
 			perStep := float64(mb.Steps()) / float64(steps)
 			tb.Add(n, pg.name, steps, mb.Steps(), int64(perStep), perStep/sqrtf(float64(n)))
+			cfg.Report.AddTrace("pram-mesh", trace.Export(mb.Sim.Ledger().Last()))
 		}
 	}
 	tb.Render(w)

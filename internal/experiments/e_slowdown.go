@@ -8,6 +8,7 @@ import (
 	"meshpram/internal/core"
 	"meshpram/internal/hmos"
 	"meshpram/internal/stats"
+	"meshpram/internal/trace"
 	"meshpram/internal/workload"
 )
 
@@ -18,6 +19,7 @@ type slowdownPoint struct {
 	alpha    float64
 	steps    float64 // mean steps per PRAM step (full batch of n requests)
 	perPhase core.StepStats
+	tree     *trace.Node // ledger tree of the last rep
 }
 
 // measureSlowdown runs `reps` full-machine mixed batches and averages
@@ -45,6 +47,7 @@ func measureSlowdown(p hmos.Params, cfg Config, reps int) (slowdownPoint, error)
 		p: p, n: n, alpha: sim.Scheme().Alpha(),
 		steps:    float64(total) / float64(reps),
 		perPhase: acc,
+		tree:     trace.Export(sim.Ledger().Last()),
 	}, nil
 }
 
@@ -85,6 +88,15 @@ func RunE1(w io.Writer, cfg Config) error {
 		xs = append(xs, float64(pt.n))
 		ys = append(ys, pt.steps)
 		norm = append(norm, pt.steps/sq)
+		// Last ladder point wins: the report describes the largest machine.
+		cfg.Report.SetSteps(int64(pt.steps))
+		cfg.Report.SetPhase("culling", pt.perPhase.Culling/int64(reps))
+		cfg.Report.SetPhase("sort", pt.perPhase.Sort/int64(reps))
+		cfg.Report.SetPhase("rank", pt.perPhase.Rank/int64(reps))
+		cfg.Report.SetPhase("forward", pt.perPhase.Forward/int64(reps))
+		cfg.Report.SetPhase("access", pt.perPhase.Access/int64(reps))
+		cfg.Report.SetPhase("return", pt.perPhase.Return/int64(reps))
+		cfg.Report.AddTrace("core-staged", pt.tree)
 	}
 	tb.Render(w)
 	exp, _ := stats.PowerFit(xs, ys)

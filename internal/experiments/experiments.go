@@ -10,6 +10,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"meshpram/internal/trace"
 )
 
 // Config tunes harness scale.
@@ -20,6 +22,56 @@ type Config struct {
 	Workers int
 	// Seed drives all workload generation.
 	Seed int64
+	// Report, when non-nil, collects machine-readable results as the
+	// experiment runs (cmd/experiments -json). Experiments record into
+	// it through the nil-safe setters below, so the hot path needs no
+	// guards.
+	Report *Report
+}
+
+// Report is the machine-readable result of one experiment run;
+// cmd/experiments -json serializes one per experiment as
+// BENCH_<id>.json. Steps and Phases describe the experiment's headline
+// measurement; Traces holds one exported cost-ledger tree per
+// execution path the experiment exercised, in the shared trace.Node
+// schema.
+type Report struct {
+	ID     string                 `json:"id"`
+	Claim  string                 `json:"claim"`
+	WallNs int64                  `json:"wall_ns"`
+	Steps  int64                  `json:"steps,omitempty"`
+	Phases map[string]int64       `json:"phases,omitempty"`
+	Traces map[string]*trace.Node `json:"traces,omitempty"`
+}
+
+// SetSteps records the headline charged-step count. Nil-safe.
+func (r *Report) SetSteps(n int64) {
+	if r != nil {
+		r.Steps = n
+	}
+}
+
+// SetPhase records one entry of the phase breakdown. Nil-safe.
+func (r *Report) SetPhase(name string, v int64) {
+	if r == nil {
+		return
+	}
+	if r.Phases == nil {
+		r.Phases = make(map[string]int64)
+	}
+	r.Phases[name] = v
+}
+
+// AddTrace attaches an exported ledger tree under the given path name.
+// Nil-safe in both arguments.
+func (r *Report) AddTrace(name string, n *trace.Node) {
+	if r == nil || n == nil {
+		return
+	}
+	if r.Traces == nil {
+		r.Traces = make(map[string]*trace.Node)
+	}
+	r.Traces[name] = n
 }
 
 // Experiment is one reproducible unit of the evaluation.

@@ -13,6 +13,13 @@
 // local work and exchange one word with each neighbor. Algorithms in
 // internal/route charge their executed rounds to the machine via
 // AddSteps; the machine itself never moves data.
+//
+// Cost ledger: a machine may carry a trace.Ledger. Every AddSteps then
+// also charges the ledger's active phase span, so instrumented callers
+// (internal/core, internal/baseline, internal/pram) produce one
+// hierarchical cost tree whose Total equals the step-counter delta.
+// Pure algorithms in internal/route open observe-only spans on the same
+// ledger for per-submesh audit detail.
 package mesh
 
 import (
@@ -20,6 +27,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"meshpram/internal/trace"
 )
 
 // Machine is an s×s mesh of processors identified by id = row*Side+col.
@@ -27,7 +36,8 @@ type Machine struct {
 	Side int // s
 	N    int // s·s
 
-	steps atomic.Int64
+	steps  atomic.Int64
+	ledger *trace.Ledger // optional phase-span accounting; nil = counter only
 
 	workers int // parallel engine width; ≤ 1 means sequential
 }
@@ -63,12 +73,21 @@ func (m *Machine) SetParallel(workers int) {
 // Workers returns the configured engine width.
 func (m *Machine) Workers() int { return m.workers }
 
-// AddSteps charges n machine steps (n ≥ 0).
+// AttachLedger installs the machine's cost ledger: subsequent AddSteps
+// calls also charge the ledger's active span. A nil ledger detaches.
+func (m *Machine) AttachLedger(l *trace.Ledger) { m.ledger = l }
+
+// Ledger returns the attached cost ledger (nil when none).
+func (m *Machine) Ledger() *trace.Ledger { return m.ledger }
+
+// AddSteps charges n machine steps (n ≥ 0) to the step counter and,
+// when a ledger is attached, to its active phase span.
 func (m *Machine) AddSteps(n int64) {
 	if n < 0 {
 		panic("mesh: negative step charge")
 	}
 	m.steps.Add(n)
+	m.ledger.Charge(n)
 }
 
 // Steps returns the total steps charged so far.

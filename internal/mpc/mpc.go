@@ -23,6 +23,7 @@ import (
 
 	"meshpram/internal/bibd"
 	"meshpram/internal/gf"
+	"meshpram/internal/trace"
 )
 
 // Word is the machine word.
@@ -44,6 +45,7 @@ type Machine struct {
 
 	G *bibd.Design // variables → modules (full BIBD)
 
+	ld    *trace.Ledger // standalone cost ledger (the MPC has no mesh)
 	store []map[int64]cell
 	now   int64
 }
@@ -75,10 +77,14 @@ func New(q, d int) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{N: g.Outputs(), Q: q, D: d, G: g}
+	m := &Machine{N: g.Outputs(), Q: q, D: d, G: g, ld: trace.New()}
 	m.store = make([]map[int64]cell, m.N)
 	return m, nil
 }
+
+// Ledger returns the machine's cost ledger; Ledger().Last() is the span
+// tree of the most recent Step.
+func (m *Machine) Ledger() *trace.Ledger { return m.ld }
 
 // Vars returns the number of shared variables, f(q, d) ∈ Θ(n²).
 func (m *Machine) Vars() int { return m.G.Inputs() }
@@ -94,6 +100,8 @@ func (m *Machine) Majority() int { return m.Q/2 + 1 }
 func (m *Machine) Step(ops []Op) ([]Word, *StepStats) {
 	m.now++
 	st := &StepStats{}
+	step := m.ld.Begin("step", trace.PhaseOther)
+	selSp := m.ld.Begin("select", trace.PhaseCulling)
 	load := make([]int, m.N)
 	type sel struct {
 		module int
@@ -142,9 +150,22 @@ func (m *Machine) Step(ops []Op) ([]Word, *StepStats) {
 		}
 	}
 	st.SqrtNBound = isqrtCeil(m.N)
-	st.Steps = int64(st.MaxLoad) + 2
+	selSp.SetAttr("requests", int64(st.Requests))
+	selSp.SetAttr("max-load", int64(st.MaxLoad))
+	selSp.SetAttr("sqrt-n-bound", int64(st.SqrtNBound))
+	selSp.End()
+	step.AddPackets(int64(st.Requests))
 
-	// Serve: writes stamp, reads gather newest.
+	// Serve: writes stamp, reads gather newest. A module serves one
+	// request per round (MaxLoad rounds), plus one request and one reply
+	// round — the only costs on the fully connected MPC.
+	serve := m.ld.Begin("serve", trace.PhaseAccess)
+	serve.Charge(int64(st.MaxLoad))
+	serve.End()
+	rt := m.ld.Begin("roundtrip", trace.PhaseForward)
+	rt.Charge(2)
+	rt.End()
+
 	res := make([]Word, len(ops))
 	for i, op := range ops {
 		if op.IsWrite {
@@ -171,6 +192,8 @@ func (m *Machine) Step(ops []Op) ([]Word, *StepStats) {
 		}
 		res[i] = best.val
 	}
+	step.End()
+	st.Steps = step.Total()
 	return res, st
 }
 

@@ -22,6 +22,7 @@ import (
 	"meshpram/internal/hmos"
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
+	"meshpram/internal/trace"
 )
 
 // Word is the PRAM machine word.
@@ -238,6 +239,12 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 	if len(readAddrs) == 0 && len(writeAddrs) == 0 {
 		return res, nil
 	}
+	// One ledger tree per PRAM step: the core simulator's "step" spans
+	// (one or two protocol rounds) nest under this root together with
+	// the source-combining charge.
+	ld := mb.Sim.Ledger()
+	es := ld.Begin("exec-step", trace.PhaseOther)
+	defer es.End()
 	sort.Ints(readAddrs)
 	sort.Ints(writeAddrs)
 
@@ -256,7 +263,9 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 	}
 	if needCombine {
 		full := mb.m.Full()
+		sp := ld.Begin("source-combine", trace.PhaseSort)
 		mb.m.AddSteps(route.SortCost(full, 1) + 3*int64(full.W-1) + int64(full.H-1))
+		sp.End()
 	}
 
 	if len(readAddrs) > n || len(writeAddrs) > n {

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
 )
 
 // GreedyRouteActors is a distributed execution of GreedyRoute: one
@@ -16,6 +17,11 @@ import (
 // both as a validation of the cycle simulation and as the
 // shared-nothing reference implementation.
 func GreedyRouteActors[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	sp := m.Ledger().Begin("greedy-actors", trace.PhaseForward)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
 	delivered = make([][]T, m.N)
 	var active atomic.Int64
 	var seq int32
@@ -39,6 +45,7 @@ func GreedyRouteActors[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest 
 			items[p] = items[p][:0]
 		}
 	}
+	sp.AddPackets(int64(seq))
 	if active.Load() == 0 {
 		return delivered, 0
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
 )
 
 // gpkt is a packet in flight inside the greedy router.
@@ -106,19 +107,44 @@ func (t torusTopo) dist(p, dest int) int {
 // It returns the delivered items per processor and the number of cycles
 // (= machine steps) the routing took.
 func GreedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(m, r, items, dest, meshTopo{m})
+	return greedyRoute(nil, m, r, items, dest, meshTopo{m})
+}
+
+// GreedyRouteInto is GreedyRoute delivering into a caller-provided
+// buffer of per-processor slices (len m.N, region entries empty) so hot
+// loops can reuse arena memory instead of reallocating; dst may be nil,
+// which allocates as GreedyRoute does.
+func GreedyRouteInto[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return greedyRoute(dst, m, r, items, dest, meshTopo{m})
 }
 
 // GreedyRouteTorus is GreedyRoute on the full machine with wrap-around
 // links (the torus extension; experiment E16). The region is always the
 // whole mesh — wrap paths cannot be confined to a submesh.
 func GreedyRouteTorus[T any](m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(m, m.Full(), items, dest, torusTopo{m})
+	return greedyRoute(nil, m, m.Full(), items, dest, torusTopo{m})
 }
 
-func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int, topo topology) (delivered [][]T, steps int64) {
-	delivered = make([][]T, m.N)
-	queues := make(map[int][]gpkt[T])
+// GreedyRouteTorusInto is GreedyRouteTorus with a reusable delivery
+// buffer (see GreedyRouteInto).
+func GreedyRouteTorusInto[T any](dst [][]T, m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return greedyRoute(dst, m, m.Full(), items, dest, torusTopo{m})
+}
+
+func greedyRoute[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int, topo topology) (delivered [][]T, steps int64) {
+	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
+	if dst == nil {
+		dst = make([][]T, m.N)
+	}
+	delivered = dst
+	// Queues are indexed region-locally so a routing call inside a small
+	// submesh allocates proportional to the submesh, not the machine.
+	local := func(p int) int { return (m.RowOf(p)-r.R0)*r.W + (m.ColOf(p) - r.C0) }
+	queues := make([][]gpkt[T], r.H*r.W)
 	var seq int32
 	active := 0
 	for row := r.R0; row < r.R0+r.H; row++ {
@@ -133,13 +159,14 @@ func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T
 					delivered[p] = append(delivered[p], v)
 					continue
 				}
-				queues[p] = append(queues[p], gpkt[T]{val: v, dest: d, seq: seq})
+				queues[local(p)] = append(queues[local(p)], gpkt[T]{val: v, dest: d, seq: seq})
 				seq++
 				active++
 			}
 			items[p] = items[p][:0]
 		}
 	}
+	sp.AddPackets(int64(seq))
 
 	// arrivals is reused across cycles to avoid per-cycle allocation;
 	// the selection sweep compacts each queue in place immediately (a
@@ -152,7 +179,8 @@ func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T
 		for row := r.R0; row < r.R0+r.H; row++ {
 			for col := r.C0; col < r.C0+r.W; col++ {
 				p := m.IDOf(row, col)
-				q := queues[p]
+				lp := local(p)
+				q := queues[lp]
 				if len(q) == 0 {
 					continue
 				}
@@ -188,11 +216,7 @@ func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T
 							out = append(out, q[i])
 						}
 					}
-					if len(out) == 0 {
-						delete(queues, p)
-					} else {
-						queues[p] = out
-					}
+					queues[lp] = out
 				}
 			}
 		}
@@ -204,7 +228,7 @@ func greedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T
 				delivered[a.to] = append(delivered[a.to], a.pk.val)
 				active--
 			} else {
-				queues[a.to] = append(queues[a.to], a.pk)
+				queues[local(a.to)] = append(queues[local(a.to)], a.pk)
 			}
 		}
 	}

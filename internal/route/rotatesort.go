@@ -2,6 +2,7 @@ package route
 
 import (
 	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
 )
 
 // RotateSort (Marberg–Gafni 1988) sorts an m×m mesh in O(m) row and
@@ -76,6 +77,11 @@ func SortSnakeWith[T any](algo SortAlgo, m *mesh.Machine, r mesh.Region, items [
 
 // sortSnakeRotate runs RotateSort and converts row-major to snake.
 func sortSnakeRotate[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (out [][]T, blockLen int, steps int64) {
+	sp := m.Ledger().Begin("rotatesort", trace.PhaseSort)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
 	L := maxLoad(m, r, items)
 	if L == 0 {
 		return items, 0, 0

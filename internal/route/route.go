@@ -10,7 +10,11 @@
 // returns the number of machine steps the operation takes under the
 // cost model of DESIGN.md §6 and does not charge the machine itself;
 // callers compose costs (summing sequential phases, taking the maximum
-// over submeshes that operate in parallel) and charge the total.
+// over submeshes that operate in parallel) and charge the total. When
+// the machine carries a trace.Ledger, each algorithm additionally opens
+// an observe-only span recording its own rounds and packet counts for
+// per-submesh audit — observed steps never enter ledger totals, so the
+// charging discipline above is unchanged.
 //
 // Sorting is shearsort with merge-split blocks — a data-oblivious
 // network, so its step count is a function of the region and block size
@@ -24,6 +28,7 @@ import (
 	"sort"
 
 	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
 )
 
 // MaxKey is reserved for padding; item keys must be strictly smaller.
@@ -97,6 +102,11 @@ func SortCost(r mesh.Region, L int) int64 {
 // items occupying the lowest ranks are the smallest. steps is the exact
 // network cost (= SortCost(r, blockLen)).
 func SortSnake[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (out [][]T, blockLen int, steps int64) {
+	sp := m.Ledger().Begin("sortsnake-net", trace.PhaseSort)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
 	L := maxLoad(m, r, items)
 	if L == 0 {
 		return items, 0, 0
@@ -132,6 +142,11 @@ func SortSnake[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (
 // globally and redistributes them into snake-ordered blocks of length
 // blockLen = max initial load.
 func SortSnakeFast[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T]) (out [][]T, blockLen int, steps int64) {
+	sp := m.Ledger().Begin("sortsnake", trace.PhaseSort)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
 	L := maxLoad(m, r, items)
 	if L == 0 {
 		return items, 0, 0
@@ -240,6 +255,11 @@ func mergeSplit[T any](blocks map[int][]elem[T], lo, hi, L int) {
 // region-wide total. Cost: one directional row pass, a column pass over
 // row totals and a broadcast-back pass, 3(W−1) + (H−1) steps.
 func PrefixSumSnake(m *mesh.Machine, r mesh.Region, vals []int64) (prefix []int64, total int64, steps int64) {
+	sp := m.Ledger().Begin("prefix-sum", trace.PhaseRank)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
 	prefix = make([]int64, m.N)
 	var running int64
 	for i := 0; i < r.Size(); i++ {

@@ -2,6 +2,7 @@ package route
 
 import (
 	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
 )
 
 // Cost is the per-phase step breakdown of a routing operation. Parallel
@@ -61,6 +62,11 @@ type stagedPkt[T any] struct {
 // and then routed greedily. Theorem 2 promises √(l1·l2·n) + O(l1·√n);
 // experiment E5 checks the measured envelope.
 func RouteL1L2[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, cost Cost) {
+	sp := m.Ledger().Begin("l1l2-routing", trace.PhaseForward)
+	defer func() {
+		sp.Observe(cost.Total())
+		sp.End()
+	}()
 	wrapped := make([][]destPkt[T], m.N)
 	forRegion(m, r, func(p int) {
 		for _, v := range items[p] {
@@ -89,6 +95,11 @@ func RouteL1L2[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) 
 // routed within each submesh — all submeshes operating in parallel, so
 // the fine phase is charged as the maximum over submeshes.
 func RouteStaged[T any](m *mesh.Machine, r mesh.Region, q, parts int, items [][]T, dest func(T) int) (delivered [][]T, cost Cost) {
+	sp := m.Ledger().BeginPar("staged-routing", trace.PhaseForward)
+	defer func() {
+		sp.Observe(cost.Total())
+		sp.End()
+	}()
 	subs, err := r.SplitQ(q, parts)
 	if err != nil {
 		panic(err)
@@ -111,6 +122,8 @@ func RouteStaged[T any](m *mesh.Machine, r mesh.Region, q, parts int, items [][]
 	// Rank within each destination-submesh group (a segmented prefix
 	// pass, charged as one snake prefix-sum).
 	cost.Rank = 3*int64(r.W-1) + int64(r.H-1)
+	rankSp := m.Ledger().Begin("rank", trace.PhaseRank)
+	rankSp.Observe(cost.Rank)
 	groupSeen := make(map[int]int, parts)
 	for i := 0; i < r.Size(); i++ {
 		p := r.ProcAtSnake(m, i)
@@ -122,6 +135,7 @@ func RouteStaged[T any](m *mesh.Machine, r mesh.Region, q, parts int, items [][]
 			pk.inter = sub.ProcAtSnake(m, rank%sub.Size())
 		}
 	}
+	rankSp.End()
 
 	// Coarse phase: route to balanced intermediate positions.
 	coarse, coarseSteps := GreedyRoute(m, r, sorted, func(p stagedPkt[T]) int { return p.inter })

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"meshpram/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenTable(t *testing.T) {
+	var tb Table
+	tb.Add("n", "side", "T(n)", "T/sqrt(n)", "note")
+	tb.Add(81, 9, int64(2399), 266.5555, "seed fixture")
+	tb.Add(729, 27, int64(21042), 779.3333, "mid")
+	tb.Add(6561, 81, int64(190000), 2345.679, "large")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	checkGolden(t, "table.golden", buf.Bytes())
+}
+
+func TestGoldenPlot(t *testing.T) {
+	var buf bytes.Buffer
+	Plot(&buf, 40, 8,
+		Series{Name: "T/sqrt(n)", X: []float64{81, 729, 6561}, Y: []float64{26.5, 77.9, 234.5}},
+		Series{Name: "diameter", X: []float64{81, 729, 6561}, Y: []float64{18, 54, 162}},
+	)
+	checkGolden(t, "plot.golden", buf.Bytes())
+}
+
+// TestGoldenTrace renders a hand-built ledger tree shaped like a small
+// core step (charged leaves, observed route detail, a parallel stage,
+// attrs) through the real Ledger machinery, so the golden file pins
+// both the formatter and the export schema.
+func TestGoldenTrace(t *testing.T) {
+	ld := trace.New()
+	step := ld.Begin("step", trace.PhaseOther)
+	step.AddPackets(324)
+
+	cull := ld.Begin("culling", trace.PhaseCulling)
+	cull.Charge(1864)
+	cull.SetAttr("pageload-max-1", 12)
+	cull.SetAttr("pageload-bound-1", 324)
+	cull.End()
+
+	stage := ld.BeginPar("stage-3", trace.PhaseOther)
+	stage.SetAttr("stage", 3)
+	stage.SetAttr("delta", 9)
+	net := ld.Begin("sortsnake", trace.PhaseSort)
+	net.Observe(423)
+	net.End()
+	lf := ld.Begin("sort", trace.PhaseSort)
+	lf.Charge(423)
+	lf.End()
+	lf = ld.Begin("forward", trace.PhaseForward)
+	lf.Charge(38)
+	lf.End()
+	stage.End()
+
+	acc := ld.Begin("access", trace.PhaseAccess)
+	acc.Charge(16)
+	acc.End()
+	step.End()
+
+	var buf bytes.Buffer
+	RenderTrace(&buf, trace.Export(ld.Last()))
+	checkGolden(t, "trace.golden", buf.Bytes())
+}
+
+func TestRenderTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTrace(&buf, nil)
+	if buf.String() != "  (no trace)\n" {
+		t.Errorf("nil trace rendering = %q", buf.String())
+	}
+}

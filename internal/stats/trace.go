@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"meshpram/internal/trace"
+)
+
+// RenderTrace writes a cost-ledger span tree (as exported by
+// trace.Export) in the same indented ASCII style as Table: one row per
+// span with its phase, charged and observed steps, subtree total and
+// packet count, then the span's attributes. Wall-clock time and alloc
+// counts are deliberately omitted — the rendering shows the
+// deterministic cost model only, so two runs with the same seed
+// produce identical output (golden tests rely on this).
+func RenderTrace(w io.Writer, root *trace.Node) {
+	if root == nil {
+		fmt.Fprintln(w, "  (no trace)")
+		return
+	}
+	width := len("span")
+	var scan func(n *trace.Node, depth int)
+	scan = func(n *trace.Node, depth int) {
+		if l := 2*depth + len(spanLabel(n)); l > width {
+			width = l
+		}
+		for _, c := range n.Children {
+			scan(c, depth+1)
+		}
+	}
+	scan(root, 0)
+	fmt.Fprintf(w, "  %-*s  %-8s %9s %9s %9s %8s\n",
+		width, "span", "phase", "charged", "observed", "total", "packets")
+	fmt.Fprintf(w, "  %s  %s %s %s %s %s\n",
+		strings.Repeat("-", width), strings.Repeat("-", 8),
+		strings.Repeat("-", 9), strings.Repeat("-", 9),
+		strings.Repeat("-", 9), strings.Repeat("-", 8))
+	var emit func(n *trace.Node, depth int)
+	emit = func(n *trace.Node, depth int) {
+		fmt.Fprintf(w, "  %-*s  %-8s %9d %9d %9d %8d%s\n",
+			width, strings.Repeat(". ", depth)+spanLabel(n), n.Phase,
+			n.Charged, n.Observed, nodeTotal(n), n.Packets, attrSuffix(n))
+		for _, c := range n.Children {
+			emit(c, depth+1)
+		}
+	}
+	emit(root, 0)
+}
+
+// spanLabel marks parallel spans the way the cost model treats them:
+// the charge is the max over the group, not the sum.
+func spanLabel(n *trace.Node) string {
+	if n.Parallel {
+		return n.Name + " (par)"
+	}
+	return n.Name
+}
+
+// nodeTotal mirrors Span.Total on the exported snapshot: charged steps
+// of the span plus its whole subtree (observed steps excluded).
+func nodeTotal(n *trace.Node) int64 {
+	t := n.Charged
+	for _, c := range n.Children {
+		t += nodeTotal(c)
+	}
+	return t
+}
+
+func attrSuffix(n *trace.Node) string {
+	if len(n.Attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %s=%d", k, n.Attrs[k])
+	}
+	return b.String()
+}
