@@ -7,12 +7,11 @@
 //	experiments [-only E5] [-big] [-workers N] [-seed S] [-json]
 //
 // -big adds the largest machine sizes (minutes instead of seconds);
-// -workers runs the mesh engine on N goroutines (0 = GOMAXPROCS;
-// -parallel is a deprecated alias); -json additionally writes one
-// BENCH_<ID>.json per experiment (charged steps, phase breakdown,
-// wall time, and the cost-ledger trees of the exercised execution
-// paths) into the -out directory, or the working directory when -out
-// is unset.
+// -workers runs the mesh engine on N goroutines (0 = GOMAXPROCS);
+// -json additionally writes one BENCH_<ID>.json per experiment
+// (charged steps, phase breakdown, wall time, and the cost-ledger
+// trees of the exercised execution paths) into the -out directory, or
+// the working directory when -out is unset.
 package main
 
 import (
@@ -31,19 +30,11 @@ func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E5)")
 	big := flag.Bool("big", false, "include the largest machine sizes")
 	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
-	parallel := flag.Int("parallel", 1, "deprecated alias for -workers")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")
 	jsonOut := flag.Bool("json", false, "write BENCH_<ID>.json per experiment (to -out dir, or .)")
 	flag.Parse()
-
-	// -workers wins when both are given; -parallel alone keeps working.
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["parallel"] && !set["workers"] {
-		*workers = *parallel
-	}
 
 	cfg := experiments.Config{Big: *big, Workers: *workers, Seed: *seed}
 	if *list {

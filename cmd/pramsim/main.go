@@ -5,10 +5,16 @@
 // Usage:
 //
 //	pramsim -program prefixsum|listrank|matvec [-side 9] [-q 3] [-d 3]
-//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-workers N] [-trace]
+//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-workers N]
+//	        [-faults SPEC] [-trace]
 //
-// -trace prints the cost-ledger tree of the last simulated PRAM step;
-// -parallel is a deprecated alias for -workers.
+// -trace prints the cost-ledger tree of the last simulated PRAM step.
+// -faults injects a static fault map (see internal/fault.Parse), e.g.
+// "link:5-6;module:40" or "rand:link=0.02,seed=7"; the run then prints
+// the accumulated degradation report.
+//
+// Both backends are constructed through the internal/sim builder —
+// the single validated configuration surface of the repository.
 package main
 
 import (
@@ -17,9 +23,8 @@ import (
 	"math/rand"
 	"os"
 
-	"meshpram/internal/core"
-	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 	"meshpram/internal/stats"
 	"meshpram/internal/trace"
 )
@@ -33,16 +38,10 @@ func main() {
 	size := flag.Int("n", 64, "problem size")
 	backend := flag.String("backend", "both", "both | ideal | mesh")
 	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
-	parallel := flag.Int("parallel", 1, "deprecated alias for -workers")
+	faults := flag.String("faults", "", "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
 	showTrace := flag.Bool("trace", false, "print the cost-ledger tree of the last PRAM step")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
-
-	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if set["parallel"] && !set["workers"] {
-		*workers = *parallel
-	}
 
 	build := func() pram.Program {
 		rng := rand.New(rand.NewSource(*seed))
@@ -82,20 +81,28 @@ func main() {
 		}
 	}
 
-	params := hmos.Params{Side: *side, Q: *q, D: *d, K: *k}
+	cfg, err := sim.New(
+		sim.Side(*side), sim.Q(*q), sim.D(*d), sim.K(*k),
+		sim.Workers(*workers),
+		sim.FaultSpec(*faults),
+		sim.IdealMemory(1<<20),
+	)
+	fatalIf(err)
 
 	var idealSteps, pramSteps int
 	var meshSteps int64
 	if *backend == "both" || *backend == "ideal" {
-		id := pram.NewIdeal(1<<20, nil)
+		id, err := pram.NewBackend(pram.BackendIdeal, cfg)
+		fatalIf(err)
 		steps, err := pram.Run(build(), id)
 		fatalIf(err)
 		idealSteps = steps
 		fmt.Printf("ideal PRAM:  %d PRAM steps, cost %d\n", steps, id.Steps())
 	}
 	if *backend == "both" || *backend == "mesh" {
-		mb, err := pram.NewMesh(params, core.Config{Workers: *workers}, nil)
+		b, err := pram.NewBackend(pram.BackendMesh, cfg)
 		fatalIf(err)
+		mb := b.(*pram.Mesh)
 		s := mb.Sim.Scheme()
 		fmt.Printf("mesh:        side=%d n=%d M=%d (alpha=%.3f) q=%d k=%d redundancy=%d\n",
 			*side, s.N, s.Vars(), s.Alpha(), *q, *k, s.CopiesPerVar())
@@ -104,6 +111,9 @@ func main() {
 		pramSteps = steps
 		meshSteps = mb.Steps()
 		fmt.Printf("mesh:        %d PRAM steps simulated in %d mesh steps\n", steps, meshSteps)
+		if rep := mb.TotalReport(); rep != nil {
+			fmt.Printf("degradation: %s\n", rep)
+		}
 		if *showTrace {
 			fmt.Printf("\ncost ledger of the last PRAM step:\n")
 			stats.RenderTrace(os.Stdout, trace.Export(mb.Sim.Ledger().Last()))

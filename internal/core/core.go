@@ -26,8 +26,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"meshpram/internal/culling"
+	"meshpram/internal/fault"
 	"meshpram/internal/hmos"
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
@@ -89,6 +91,15 @@ type Config struct {
 	// Workers configures the mesh engine parallelism (0 = GOMAXPROCS,
 	// ≤1 sequential).
 	Workers int
+	// Faults installs a static fault map (internal/fault): dead or slow
+	// nodes, links and memory modules. Copy selection then avoids dead
+	// modules, routing detours around dead links with a bounded retry
+	// budget (extra cycles are charged to the ledger like any routing
+	// cost), and Step reports per-op degradation through LastReport.
+	// nil (the default) is a healthy machine on the unchanged fast
+	// path; the map must be built for the same mesh side and must not
+	// be mutated after construction (static faults).
+	Faults *fault.Map
 }
 
 // StepStats is the per-PRAM-step cost breakdown and diagnostics.
@@ -182,6 +193,9 @@ type Simulator struct {
 	store []map[int64]cell
 
 	now int64 // PRAM step counter (timestamp source)
+
+	rep     *fault.StepReport // degradation collector of the running step
+	lastRep *fault.StepReport // report of the most recent step (nil = healthy cfg)
 }
 
 type cell struct {
@@ -202,6 +216,10 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 	if m.N >= 1<<16 {
 		return nil, fmt.Errorf("core: mesh with %d processors exceeds the 2^16 packet-key limit", m.N)
 	}
+	if cfg.Faults != nil && cfg.Faults.Side() != p.Side {
+		return nil, fmt.Errorf("core: fault map side %d does not match mesh side %d", cfg.Faults.Side(), p.Side)
+	}
+	m.SetFaults(cfg.Faults)
 	if cfg.Workers != 1 {
 		m.SetParallel(cfg.Workers)
 	}
@@ -260,17 +278,81 @@ type pkt struct {
 // across ops (combine concurrent requests upstream; see internal/pram).
 // It returns, aligned with ops, the read results (writes yield their
 // written value) and the cost breakdown. All charged steps are also
-// added to the machine's counter.
+// added to the machine's counter. It panics on malformed requests;
+// StepChecked is the error-returning variant new code should use.
 func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
+	res, st, err := sim.StepChecked(ops)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return res, st
+}
+
+// LastReport returns the degradation report of the most recent
+// StepChecked/Step: what the step could not serve at full fidelity
+// because of faults. nil when the simulator has no fault map (healthy
+// configurations pay zero reporting overhead); a non-degraded report
+// (Degraded() == false) when faults are configured but the step ran
+// clean.
+func (sim *Simulator) LastReport() *fault.StepReport { return sim.lastRep }
+
+// StepChecked is Step with request validation: an out-of-range origin
+// or variable, a duplicate variable, or an oversized batch yields an
+// error (before any cost is charged) instead of a panic.
+func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	s, m, ld := sim.S, sim.M, sim.ld
 	K := s.K
+
+	if len(ops) > m.N {
+		return nil, nil, fmt.Errorf("%d ops exceed %d processors", len(ops), m.N)
+	}
+	seen := make(map[int]bool, len(ops))
+	for i, op := range ops {
+		if op.Origin < 0 || op.Origin >= m.N {
+			return nil, nil, fmt.Errorf("op %d: origin %d out of range [0,%d)", i, op.Origin, m.N)
+		}
+		if op.Var < 0 || op.Var >= s.Vars() {
+			return nil, nil, fmt.Errorf("op %d: variable %d out of range [0,%d)", i, op.Var, s.Vars())
+		}
+		if seen[op.Var] {
+			return nil, nil, fmt.Errorf("op %d: duplicate variable %d in step", i, op.Var)
+		}
+		seen[op.Var] = true
+	}
+
 	sim.now++
+	f := sim.cfg.Faults
+	if f != nil {
+		sim.rep = &fault.StepReport{Ops: len(ops)}
+	}
+	defer func() {
+		sim.lastRep = sim.rep
+		sim.rep = nil
+	}()
 
 	if len(ops) == 0 {
-		return nil, StatsFromSpan(nil, K)
+		return nil, StatsFromSpan(nil, K), nil
 	}
-	if len(ops) > m.N {
-		panic(fmt.Sprintf("core: %d ops exceed %d processors", len(ops), m.N))
+
+	// Availability masks: which copies of each op are on live modules.
+	// Ops originating at dead processors cannot issue at all — their
+	// mask is empty, which makes selection report them unservable.
+	var avail [][]bool
+	if f != nil {
+		avail = make([][]bool, len(ops))
+		var cbuf []hmos.Copy
+		for i, op := range ops {
+			mask := make([]bool, s.Redundant)
+			avail[i] = mask
+			if f.NodeDead(op.Origin) {
+				sim.rep.DeadOrigins++
+				continue
+			}
+			cbuf = s.Copies(op.Var, cbuf[:0])
+			for leaf, c := range cbuf {
+				mask[leaf] = !f.ModuleDead(c.Proc)
+			}
+		}
 	}
 
 	step := ld.Begin("step", trace.PhaseOther)
@@ -284,11 +366,11 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 	var sel *culling.Result
 	switch {
 	case sim.cfg.Policy == ReadOneWriteAllPolicy:
-		sel = sim.selectReadOneWriteAll(ops)
+		sel = sim.selectReadOneWriteAll(ops, avail)
 	case sim.cfg.DisableCulling:
-		sel = culling.SelectWithoutCulling(s, m, reqs)
+		sel = culling.SelectWithoutCullingAvail(s, m, reqs, avail)
 	default:
-		sel = culling.Run(s, m, reqs)
+		sel = culling.RunAvail(s, m, reqs, avail)
 	}
 	m.AddSteps(sel.Steps)
 	for i := 1; i <= K; i++ {
@@ -331,11 +413,16 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 	// 5. Return journey along recorded waypoints.
 	sim.routeReturn(pkts)
 
-	// 6. Collect read results: most recent timestamp wins.
+	// 6. Collect read results: most recent timestamp wins. Under faults,
+	// also record which leaves made the round trip per op.
 	results := make([]Word, len(ops))
 	best := make([]int64, len(ops))
 	for i := range best {
 		best[i] = -1
+	}
+	var retMask [][]bool
+	if f != nil {
+		retMask = make([][]bool, len(ops))
 	}
 	maxHome := 0
 	for _, op := range ops {
@@ -353,6 +440,12 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 				best[pk.op] = pk.ts
 				results[pk.op] = pk.val
 			}
+			if retMask != nil {
+				if retMask[pk.op] == nil {
+					retMask[pk.op] = make([]bool, s.Redundant)
+				}
+				retMask[pk.op][int(pk.slot%int64(s.Redundant))] = true
+			}
 		}
 		pkts[p] = pkts[p][:0]
 	}
@@ -367,8 +460,61 @@ func (sim *Simulator) Step(ops []Op) ([]Word, *StepStats) {
 	m.AddSteps(int64(maxHome))
 	combine.End()
 
+	// 7. Degradation verdict per op (faulty configurations only). An op
+	// is unrecoverable when its live copies held no target set at
+	// selection time, or the copies that completed the round trip no
+	// longer certify the access: under the majority rule the returned
+	// leaves must still access the root of T_v; under ROWA a read needs
+	// any returned copy but a write must have updated every selected
+	// copy (a partial ROWA write would silently break later reads). The
+	// round-trip criterion is conservative — a write whose packet
+	// updated its copy but was lost on the way home counts as failed.
+	if f != nil {
+		bad := make(map[int]bool, len(sel.Unservable))
+		for _, r := range sel.Unservable {
+			bad[r] = true
+		}
+		for i := range ops {
+			if bad[i] {
+				continue
+			}
+			ok := false
+			if mask := retMask[i]; mask != nil {
+				if sim.cfg.Policy == ReadOneWriteAllPolicy {
+					if ops[i].IsWrite {
+						got := 0
+						for _, on := range mask {
+							if on {
+								got++
+							}
+						}
+						ok = got == len(sel.Selected[i])
+					} else {
+						ok = true
+					}
+				} else {
+					ok = s.AccessedRoot(mask)
+				}
+			}
+			if !ok {
+				bad[i] = true
+			}
+		}
+		for i := range ops {
+			if bad[i] {
+				sim.rep.Unrecoverable = append(sim.rep.Unrecoverable, i)
+			}
+		}
+		sort.Ints(sim.rep.Unrecoverable)
+		if sim.rep.Degraded() {
+			step.SetAttr("dead-origins", int64(sim.rep.DeadOrigins))
+			step.SetAttr("lost-packets", int64(sim.rep.LostPackets))
+			step.SetAttr("unrecoverable", int64(len(sim.rep.Unrecoverable)))
+		}
+	}
+
 	step.End()
-	return results, StatsFromSpan(step, K)
+	return results, StatsFromSpan(step, K), nil
 }
 
 // routeStagedForward runs protocol stages K+1 … 1 (§3.3): at stage
@@ -596,8 +742,14 @@ func (sim *Simulator) routeReturn(pkts [][]pkt) {
 // selectReadOneWriteAll implements the [MV84] discipline: writes select
 // every copy, reads select the single copy indexed by Var mod q^k (a
 // fixed load-spreading choice). No culling runs, so no congestion
-// control applies — that is the point of the comparison.
-func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
+// control applies — that is the point of the comparison. With an avail
+// mask (faults), reads take the first live copy scanning from the fixed
+// index and writes select the live copies; an op with no live copy is
+// reported Unservable. A read served by any live copy is correct only
+// because ROWA writes update every copy — a fact that itself breaks
+// once a write skips dead copies, which is why ROWA writes that lose
+// any copy are marked unrecoverable downstream.
+func (sim *Simulator) selectReadOneWriteAll(ops []Op, avail [][]bool) *culling.Result {
 	s := sim.S
 	res := &culling.Result{
 		Selected: make([][]culling.SelectedCopy, len(ops)),
@@ -610,6 +762,9 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
 	var buf []hmos.Copy
 	for i, op := range ops {
 		buf = s.Copies(op.Var, buf[:0])
+		live := func(leaf int) bool {
+			return avail == nil || avail[i] == nil || avail[i][leaf]
+		}
 		record := func(c hmos.Copy) {
 			res.Selected[i] = append(res.Selected[i], culling.SelectedCopy{Leaf: c.Leaf, Proc: c.Proc})
 			for lvl := 1; lvl <= s.K; lvl++ {
@@ -617,11 +772,30 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
 			}
 		}
 		if op.IsWrite {
-			for _, c := range buf {
-				record(c)
+			any := false
+			for leaf, c := range buf {
+				if live(leaf) {
+					record(c)
+					any = true
+				}
+			}
+			if !any {
+				res.Unservable = append(res.Unservable, i)
 			}
 		} else {
-			record(buf[op.Var%len(buf)])
+			n := len(buf)
+			found := false
+			for j := 0; j < n; j++ {
+				leaf := (op.Var + j) % n
+				if live(leaf) {
+					record(buf[leaf])
+					found = true
+					break
+				}
+			}
+			if !found {
+				res.Unservable = append(res.Unservable, i)
+			}
 		}
 	}
 	return res
@@ -633,7 +807,22 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op) *culling.Result {
 // return it via arena.put once its entries are drained and truncated.
 func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, dest func(pkt) int) ([][]pkt, int64) {
 	buf := sim.arena.get()
-	if sim.cfg.Torus && fullMachine {
+	torus := sim.cfg.Torus && fullMachine
+	if sim.cfg.Faults != nil {
+		var delivered [][]pkt
+		var cycles int64
+		var lost int
+		if torus {
+			delivered, cycles, lost = route.GreedyRouteTorusFaultInto(buf, sim.M, items, dest)
+		} else {
+			delivered, cycles, lost = route.GreedyRouteFaultInto(buf, sim.M, r, items, dest)
+		}
+		if lost > 0 && sim.rep != nil {
+			sim.rep.LostPackets += lost
+		}
+		return delivered, cycles
+	}
+	if torus {
 		return route.GreedyRouteTorusInto(buf, sim.M, items, dest)
 	}
 	return route.GreedyRouteInto(buf, sim.M, r, items, dest)

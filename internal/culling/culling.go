@@ -38,7 +38,8 @@ type SelectedCopy struct {
 // Result carries the culling output and diagnostics.
 type Result struct {
 	// Selected[r] lists the copies of request r to access (a minimal
-	// plain target set, C_v of the paper).
+	// plain target set, C_v of the paper). nil for unservable requests
+	// (see Unservable).
 	Selected [][]SelectedCopy
 
 	// PageLoad[i] (1 ≤ i ≤ K) maps level-i page index → number of
@@ -50,6 +51,11 @@ type Result struct {
 
 	// Steps is the charged mesh step cost (equation (2) shape).
 	Steps int64
+
+	// Unservable lists requests whose available copies (see RunAvail)
+	// contain no plain target set: under the majority rule their
+	// variable is unrecoverable and no packets are produced for them.
+	Unservable []int
 }
 
 // MaxLoad returns the maximum level-i page load and its bound.
@@ -74,6 +80,19 @@ type copyRef struct {
 // combining upstream for concurrent access). It panics on duplicate
 // variables or out-of-range requests.
 func Run(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
+	return RunAvail(s, m, reqs, nil)
+}
+
+// RunAvail is Run restricted to the available copies of each request:
+// avail[r] masks request r's live leaves (a nil avail, or a nil mask
+// for a request, means all q^k copies are available, making RunAvail
+// with nil avail bit-identical to Run). Requests whose live leaves no
+// longer contain a minimal level-0 target set fall back to a minimal
+// plain target set among the live leaves — they skip the per-level
+// shrink (their set is already minimal) but still count toward page
+// loads and the congestion marking. Requests with no plain target set
+// at all are reported in Result.Unservable with a nil selection.
+func RunAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, avail [][]bool) *Result {
 	n := m.N
 	qk := s.Redundant
 	seen := make(map[int]bool, len(reqs))
@@ -113,16 +132,29 @@ func Run(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
 		Steps:    0,
 	}
 
-	// C^0: minimal level-0 target sets.
+	// C^0: minimal level-0 target sets over the available leaves.
+	// frozen[r]: the request's live leaves hold no level-0 set, only a
+	// plain one — its mask is already minimal and skips the shrink.
 	masks := make([][]bool, len(reqs))
+	frozen := make([]bool, len(reqs))
 	fullAvail := make([]bool, qk)
 	for i := range fullAvail {
 		fullAvail[i] = true
 	}
 	for r := range reqs {
-		sel, ok := s.SelectTargetSet(0, fullAvail, nil)
+		av := fullAvail
+		if avail != nil && avail[r] != nil {
+			av = avail[r]
+		}
+		sel, ok := s.SelectTargetSet(0, av, nil)
 		if !ok {
-			panic("culling: no level-0 target set in full copy tree")
+			if sel, ok = s.SelectTargetSet(s.K, av, nil); !ok {
+				res.Unservable = append(res.Unservable, r)
+				masks[r] = make([]bool, qk) // empty: contributes nothing
+				frozen[r] = true
+				continue
+			}
+			frozen[r] = true
 		}
 		masks[r] = sel
 	}
@@ -174,8 +206,12 @@ func Run(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
 		}
 
 		// Shrink each request's mask to a minimal level-i target set,
-		// preferring marked copies (the M_v^i / S_v^i split).
+		// preferring marked copies (the M_v^i / S_v^i split). Frozen
+		// requests are already minimal plain sets and keep their mask.
 		for r := range reqs {
+			if frozen[r] {
+				continue
+			}
 			sel, ok := s.SelectTargetSet(i, masks[r], marked[r])
 			if !ok {
 				// Cannot happen: masks[r] is a minimal level-(i-1)
@@ -216,6 +252,13 @@ func Run(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
 // target set chosen without congestion control — the ablation baseline
 // for experiments E2/E12. Its step cost is zero (purely local choice).
 func SelectWithoutCulling(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Result {
+	return SelectWithoutCullingAvail(s, m, reqs, nil)
+}
+
+// SelectWithoutCullingAvail is SelectWithoutCulling restricted to the
+// available copies (see RunAvail for the avail convention and the
+// Unservable reporting).
+func SelectWithoutCullingAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, avail [][]bool) *Result {
 	qk := s.Redundant
 	res := &Result{
 		Selected: make([][]SelectedCopy, len(reqs)),
@@ -231,7 +274,15 @@ func SelectWithoutCulling(s *hmos.Scheme, m *mesh.Machine, reqs []Request) *Resu
 		res.Bound[i] = capAtLevel(4, qk, m.N, i)
 	}
 	for r, rq := range reqs {
-		sel, _ := s.SelectTargetSet(s.K, fullAvail, nil)
+		av := fullAvail
+		if avail != nil && avail[r] != nil {
+			av = avail[r]
+		}
+		sel, ok := s.SelectTargetSet(s.K, av, nil)
+		if !ok {
+			res.Unservable = append(res.Unservable, r)
+			continue
+		}
 		copies := s.Copies(rq.Var, nil)
 		for leaf, on := range sel {
 			if on {

@@ -101,6 +101,7 @@ var All = []Experiment{
 	{"E16", "Extension: torus (wrap-around) links vs the plain mesh", RunE16},
 	{"E17", "Sorting substitution ablation: shearsort vs RotateSort", RunE17},
 	{"E18", "Lineage: [PP93a] on the MPC (contention only) vs this paper on the mesh", RunE18},
+	{"FAULT", "Extension: graceful degradation — slowdown and unrecoverable variables vs static fault rate", RunFault},
 }
 
 // RunAll executes every experiment, writing a section per experiment.

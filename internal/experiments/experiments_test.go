@@ -46,8 +46,8 @@ func TestIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 18 {
-		t.Fatalf("%d experiments, want 18 (DESIGN.md §4)", len(All))
+	if len(All) != 19 {
+		t.Fatalf("%d experiments, want 19 (DESIGN.md §4 plus FAULT)", len(All))
 	}
 }
 

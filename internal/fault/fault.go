@@ -1,0 +1,496 @@
+// Package fault models static faults on the mesh machine and the
+// degradation bookkeeping the rest of the simulator reports through.
+//
+// The fault model follows the "static fault" setting of Chlebus,
+// Gasieniec and Pelc (Deterministic Computations on a PRAM with Static
+// Processor and Memory Faults): a fixed, adversarially chosen set of
+// components is faulty before the computation starts and stays faulty
+// throughout. Three component classes can fail:
+//
+//   - a *node* fault kills a processor entirely: it cannot originate
+//     requests, relay packets, or serve its memory module;
+//   - a *link* fault kills one mesh edge: the greedy router must detour
+//     around it (internal/route), paying extra charged cycles;
+//   - a *module* fault kills only a processor's memory module: the
+//     processor still routes and computes, but every variable copy
+//     stored there is unavailable.
+//
+// Links (and, coarsely, nodes) can also be *slow* instead of dead: a
+// slow link carries one packet every `factor` cycles instead of every
+// cycle, which the cycle-accurate router charges faithfully.
+//
+// A Map is immutable once simulation starts (static faults); build it
+// directly, from a seeded random Model, or from a CLI spec via Parse.
+// The zero-fault case is first-class: a nil *Map (or an empty one)
+// means a healthy machine, and every consumer keeps its fault-free
+// accounting bit-identical to the unwired code path.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// linkKey identifies an undirected mesh edge by its endpoint ids,
+// normalized so a < b.
+type linkKey struct{ a, b int }
+
+func mkLink(p, q int) linkKey {
+	if p > q {
+		p, q = q, p
+	}
+	return linkKey{p, q}
+}
+
+// Map is a static fault map over a side×side mesh. The zero value of
+// every query method on a nil receiver reports a healthy component, so
+// fault-free paths never need nil checks.
+type Map struct {
+	side       int
+	deadNode   []bool
+	deadModule []bool
+	deadLink   map[linkKey]bool
+	slowLink   map[linkKey]int // delay factor ≥ 2
+	faults     int             // total marks, for Empty()
+}
+
+// NewMap creates an all-healthy fault map for a side×side mesh.
+func NewMap(side int) *Map {
+	if side < 1 {
+		panic(fmt.Sprintf("fault: side %d must be ≥ 1", side))
+	}
+	return &Map{
+		side:       side,
+		deadNode:   make([]bool, side*side),
+		deadModule: make([]bool, side*side),
+		deadLink:   make(map[linkKey]bool),
+		slowLink:   make(map[linkKey]int),
+	}
+}
+
+// Side returns the mesh side the map was built for.
+func (f *Map) Side() int {
+	if f == nil {
+		return 0
+	}
+	return f.side
+}
+
+// Empty reports whether the map marks no fault at all (nil-safe).
+func (f *Map) Empty() bool { return f == nil || f.faults == 0 }
+
+// adjacent reports whether p and q share a mesh edge, counting the
+// torus wrap edges so torus configurations can fault them too.
+func (f *Map) adjacent(p, q int) bool {
+	s := f.side
+	pr, pc := p/s, p%s
+	qr, qc := q/s, q%s
+	dr, dc := pr-qr, pc-qc
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	if dr == s-1 && s > 1 {
+		dr = 1 // wrap edge along the rows
+	}
+	if dc == s-1 && s > 1 {
+		dc = 1 // wrap edge along the columns
+	}
+	return dr+dc == 1
+}
+
+func (f *Map) checkNode(p string, id int) {
+	if id < 0 || id >= f.side*f.side {
+		panic(fmt.Sprintf("fault: %s %d out of range [0,%d)", p, id, f.side*f.side))
+	}
+}
+
+func (f *Map) checkLink(p, q int) {
+	f.checkNode("link endpoint", p)
+	f.checkNode("link endpoint", q)
+	if !f.adjacent(p, q) {
+		panic(fmt.Sprintf("fault: %d-%d is not a mesh (or wrap) edge", p, q))
+	}
+}
+
+// KillNode marks processor p dead: it cannot originate, relay, or
+// store. Idempotent.
+func (f *Map) KillNode(p int) *Map {
+	f.checkNode("node", p)
+	if !f.deadNode[p] {
+		f.deadNode[p] = true
+		f.faults++
+	}
+	return f
+}
+
+// KillModule marks processor p's memory module dead; the processor
+// itself keeps routing. Idempotent.
+func (f *Map) KillModule(p int) *Map {
+	f.checkNode("module", p)
+	if !f.deadModule[p] {
+		f.deadModule[p] = true
+		f.faults++
+	}
+	return f
+}
+
+// KillLink marks the undirected edge p–q dead. Idempotent; panics if
+// p and q are not mesh (or wrap) neighbors.
+func (f *Map) KillLink(p, q int) *Map {
+	f.checkLink(p, q)
+	k := mkLink(p, q)
+	if !f.deadLink[k] {
+		f.deadLink[k] = true
+		f.faults++
+	}
+	return f
+}
+
+// SlowLink marks the edge p–q slow: it carries one packet every
+// `factor` cycles (factor ≥ 2). A later call overwrites the factor.
+func (f *Map) SlowLink(p, q, factor int) *Map {
+	f.checkLink(p, q)
+	if factor < 2 {
+		panic(fmt.Sprintf("fault: slow factor %d must be ≥ 2", factor))
+	}
+	k := mkLink(p, q)
+	if _, ok := f.slowLink[k]; !ok {
+		f.faults++
+	}
+	f.slowLink[k] = factor
+	return f
+}
+
+// NodeDead reports whether processor p is dead (nil-safe).
+func (f *Map) NodeDead(p int) bool { return f != nil && f.deadNode[p] }
+
+// ModuleDead reports whether processor p's memory module is
+// unavailable — either the module itself or the whole node is dead.
+func (f *Map) ModuleDead(p int) bool {
+	return f != nil && (f.deadModule[p] || f.deadNode[p])
+}
+
+// LinkUp reports whether the edge p–q can carry packets: both
+// endpoints alive and the link itself not dead (nil-safe: always up).
+func (f *Map) LinkUp(p, q int) bool {
+	if f == nil {
+		return true
+	}
+	if f.deadNode[p] || f.deadNode[q] {
+		return false
+	}
+	return !f.deadLink[mkLink(p, q)]
+}
+
+// LinkDelay returns the cycle period of the edge p–q: 1 for a healthy
+// link, the slow factor for a slow one. Callers check LinkUp first.
+func (f *Map) LinkDelay(p, q int) int {
+	if f == nil {
+		return 1
+	}
+	if d, ok := f.slowLink[mkLink(p, q)]; ok {
+		return d
+	}
+	return 1
+}
+
+// MaxDelay returns the largest slow-link factor in the map (1 when no
+// link is slow; nil-safe). Routers use it to bound how long an idle
+// network can still be waiting on a slow link.
+func (f *Map) MaxDelay() int {
+	d := 1
+	if f == nil {
+		return d
+	}
+	for _, v := range f.slowLink {
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Counts returns the number of dead nodes, dead links, dead modules
+// (module-only faults, not counting dead nodes) and slow links.
+func (f *Map) Counts() (nodes, links, modules, slow int) {
+	if f == nil {
+		return 0, 0, 0, 0
+	}
+	for _, d := range f.deadNode {
+		if d {
+			nodes++
+		}
+	}
+	for _, d := range f.deadModule {
+		if d {
+			modules++
+		}
+	}
+	return nodes, len(f.deadLink), modules, len(f.slowLink)
+}
+
+// String summarizes the map for CLI output.
+func (f *Map) String() string {
+	if f.Empty() {
+		return "healthy"
+	}
+	n, l, m, s := f.Counts()
+	return fmt.Sprintf("%d dead nodes, %d dead links, %d dead modules, %d slow links", n, l, m, s)
+}
+
+// Model is a seeded random static-fault model: each component class
+// fails independently with its rate. Building the same model twice
+// yields the same Map (deterministic in Seed).
+type Model struct {
+	NodeRate   float64 // per-processor death probability
+	LinkRate   float64 // per-edge death probability
+	ModuleRate float64 // per-module death probability (node survives)
+	SlowRate   float64 // per-edge slow probability (applied to live links)
+	SlowFactor int     // cycle period of slow links (default 4)
+	Seed       int64
+}
+
+// Build realizes the model on a side×side mesh. Components are visited
+// in a fixed order (nodes, then row links, then column links, then
+// modules, then slow links), so the map is a pure function of the
+// model and the side.
+func (mo Model) Build(side int) *Map {
+	f := NewMap(side)
+	rng := rand.New(rand.NewSource(mo.Seed))
+	factor := mo.SlowFactor
+	if factor < 2 {
+		factor = 4
+	}
+	n := side * side
+	for p := 0; p < n; p++ {
+		if mo.NodeRate > 0 && rng.Float64() < mo.NodeRate {
+			f.KillNode(p)
+		}
+	}
+	eachEdge(side, func(p, q int) {
+		if mo.LinkRate > 0 && rng.Float64() < mo.LinkRate {
+			f.KillLink(p, q)
+		}
+	})
+	for p := 0; p < n; p++ {
+		if mo.ModuleRate > 0 && rng.Float64() < mo.ModuleRate {
+			f.KillModule(p)
+		}
+	}
+	eachEdge(side, func(p, q int) {
+		if mo.SlowRate > 0 && rng.Float64() < mo.SlowRate && f.LinkUp(p, q) {
+			f.SlowLink(p, q, factor)
+		}
+	})
+	return f
+}
+
+// eachEdge visits the non-wrap mesh edges in a fixed order: all
+// rightward links row by row, then all downward links.
+func eachEdge(side int, fn func(p, q int)) {
+	for r := 0; r < side; r++ {
+		for c := 0; c+1 < side; c++ {
+			fn(r*side+c, r*side+c+1)
+		}
+	}
+	for r := 0; r+1 < side; r++ {
+		for c := 0; c < side; c++ {
+			fn(r*side+c, (r+1)*side+c)
+		}
+	}
+}
+
+// Parse builds a Map from a CLI spec. The spec is a ';'-separated list
+// of segments:
+//
+//	node:3,17          kill processors 3 and 17
+//	module:40          kill processor 40's memory module
+//	link:5-6,9-18      kill the edges 5–6 and 9–18
+//	slow:7-8x4         make edge 7–8 carry one packet every 4 cycles
+//	rand:link=0.05,module=0.02,node=0.01,slow=0.1,factor=4,seed=7
+//
+// An empty spec yields nil (healthy machine). Segments accumulate into
+// one map; rand segments are realized with the given rates and seed.
+func Parse(side int, spec string) (*Map, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	f := NewMap(side)
+	var model *Model
+	for _, seg := range strings.Split(spec, ";") {
+		seg = strings.TrimSpace(seg)
+		if seg == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(seg, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: segment %q missing ':'", seg)
+		}
+		switch kind {
+		case "node", "module":
+			for _, tok := range strings.Split(rest, ",") {
+				id, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil || id < 0 || id >= side*side {
+					return nil, fmt.Errorf("fault: bad %s id %q (mesh has %d processors)", kind, tok, side*side)
+				}
+				if kind == "node" {
+					f.KillNode(id)
+				} else {
+					f.KillModule(id)
+				}
+			}
+		case "link", "slow":
+			for _, tok := range strings.Split(rest, ",") {
+				tok = strings.TrimSpace(tok)
+				factor := 0
+				if kind == "slow" {
+					var fs string
+					var ok bool
+					tok, fs, ok = strings.Cut(tok, "x")
+					if !ok {
+						return nil, fmt.Errorf("fault: slow link %q missing xFACTOR", tok)
+					}
+					v, err := strconv.Atoi(fs)
+					if err != nil || v < 2 {
+						return nil, fmt.Errorf("fault: bad slow factor %q", fs)
+					}
+					factor = v
+				}
+				ps, qs, ok := strings.Cut(tok, "-")
+				if !ok {
+					return nil, fmt.Errorf("fault: bad link %q (want P-Q)", tok)
+				}
+				p, err1 := strconv.Atoi(strings.TrimSpace(ps))
+				q, err2 := strconv.Atoi(strings.TrimSpace(qs))
+				if err1 != nil || err2 != nil || p < 0 || q < 0 || p >= side*side || q >= side*side {
+					return nil, fmt.Errorf("fault: bad link %q", tok)
+				}
+				if !f.adjacent(p, q) {
+					return nil, fmt.Errorf("fault: %d-%d is not a mesh edge", p, q)
+				}
+				if kind == "link" {
+					f.KillLink(p, q)
+				} else {
+					f.SlowLink(p, q, factor)
+				}
+			}
+		case "rand":
+			if model == nil {
+				model = &Model{}
+			}
+			for _, kv := range strings.Split(rest, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("fault: bad rand entry %q (want key=value)", kv)
+				}
+				switch key {
+				case "seed", "factor":
+					v, err := strconv.ParseInt(val, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("fault: bad rand %s %q", key, val)
+					}
+					if key == "seed" {
+						model.Seed = v
+					} else {
+						model.SlowFactor = int(v)
+					}
+				case "node", "link", "module", "slow":
+					v, err := strconv.ParseFloat(val, 64)
+					if err != nil || v < 0 || v > 1 {
+						return nil, fmt.Errorf("fault: bad rand rate %s=%q", key, val)
+					}
+					switch key {
+					case "node":
+						model.NodeRate = v
+					case "link":
+						model.LinkRate = v
+					case "module":
+						model.ModuleRate = v
+					case "slow":
+						model.SlowRate = v
+					}
+				default:
+					return nil, fmt.Errorf("fault: unknown rand key %q", key)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown segment kind %q", kind)
+		}
+	}
+	if model != nil {
+		rm := model.Build(side)
+		// Merge the random realization into the explicit marks.
+		for p, d := range rm.deadNode {
+			if d {
+				f.KillNode(p)
+			}
+		}
+		for p, d := range rm.deadModule {
+			if d {
+				f.KillModule(p)
+			}
+		}
+		for k := range rm.deadLink {
+			f.KillLink(k.a, k.b)
+		}
+		for k, v := range rm.slowLink {
+			f.SlowLink(k.a, k.b, v)
+		}
+	}
+	if f.Empty() {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// StepReport is the per-step degradation report: what the simulation
+// could not serve at full fidelity because of faults. A nil report (or
+// a zero one) means the step ran exactly as on a healthy machine.
+type StepReport struct {
+	// Ops is the number of requests the step was asked to serve.
+	Ops int
+	// DeadOrigins counts ops whose originating processor is dead; they
+	// are not served at all.
+	DeadOrigins int
+	// LostPackets counts copy packets that could not be delivered or
+	// returned (dead destination, or the detour budget ran out).
+	LostPackets int
+	// Unrecoverable lists the ops (by the caller's index space: batch
+	// index at the core layer, variable address at the PRAM layer)
+	// whose surviving copies no longer grant root access under the
+	// majority rule — their results cannot be trusted.
+	Unrecoverable []int
+}
+
+// Degraded reports whether the step deviated from healthy execution.
+func (r *StepReport) Degraded() bool {
+	return r != nil && (r.DeadOrigins > 0 || r.LostPackets > 0 || len(r.Unrecoverable) > 0)
+}
+
+// Merge folds another report into r (nil o is a no-op).
+func (r *StepReport) Merge(o *StepReport) {
+	if r == nil || o == nil {
+		return
+	}
+	r.Ops += o.Ops
+	r.DeadOrigins += o.DeadOrigins
+	r.LostPackets += o.LostPackets
+	r.Unrecoverable = append(r.Unrecoverable, o.Unrecoverable...)
+}
+
+// String renders the report compactly for CLI output.
+func (r *StepReport) String() string {
+	if !r.Degraded() {
+		return "healthy"
+	}
+	u := append([]int(nil), r.Unrecoverable...)
+	sort.Ints(u)
+	return fmt.Sprintf("deadOrigins=%d lostPackets=%d unrecoverable=%v", r.DeadOrigins, r.LostPackets, u)
+}

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"meshpram/internal/fault"
 	"meshpram/internal/trace"
 )
 
@@ -38,6 +39,7 @@ type Machine struct {
 
 	steps  atomic.Int64
 	ledger *trace.Ledger // optional phase-span accounting; nil = counter only
+	faults *fault.Map    // optional static fault map; nil = healthy
 
 	workers int // parallel engine width; ≤ 1 means sequential
 }
@@ -79,6 +81,33 @@ func (m *Machine) AttachLedger(l *trace.Ledger) { m.ledger = l }
 
 // Ledger returns the attached cost ledger (nil when none).
 func (m *Machine) Ledger() *trace.Ledger { return m.ledger }
+
+// SetFaults installs a static fault map. Faults are static: install the
+// map before the first step and leave it untouched afterwards (the
+// routing and access layers assume component health never changes
+// mid-simulation). A nil map (the default) means a healthy machine and
+// keeps every fault-aware path on its fault-free fast path; panics if
+// the map was built for a different side.
+func (m *Machine) SetFaults(f *fault.Map) {
+	if f != nil && f.Side() != m.Side {
+		panic(fmt.Sprintf("mesh: fault map side %d does not match machine side %d", f.Side(), m.Side))
+	}
+	m.faults = f
+}
+
+// Faults returns the installed fault map (nil when healthy).
+func (m *Machine) Faults() *fault.Map { return m.faults }
+
+// NodeUp reports whether processor p is alive (true on a healthy
+// machine).
+func (m *Machine) NodeUp(p int) bool { return !m.faults.NodeDead(p) }
+
+// LinkUp reports whether the edge p–q can carry packets this
+// simulation: both endpoints alive and the link not dead.
+func (m *Machine) LinkUp(p, q int) bool { return m.faults.LinkUp(p, q) }
+
+// LinkDelay returns the cycle period of the edge p–q (1 = healthy).
+func (m *Machine) LinkDelay(p, q int) int { return m.faults.LinkDelay(p, q) }
 
 // AddSteps charges n machine steps (n ≥ 0) to the step counter and,
 // when a ledger is attached, to its active phase span.

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"meshpram/internal/core"
+	"meshpram/internal/fault"
 	"meshpram/internal/hmos"
+	"meshpram/internal/sim"
 )
 
 func TestMeshBackendIdleStep(t *testing.T) {
@@ -81,6 +83,105 @@ func TestMeshBackendManyDistinctSingleRound(t *testing.T) {
 	double := mb2.Steps()
 	if double <= single {
 		t.Fatalf("overlapping step (%d) not costlier than disjoint (%d)", double, single)
+	}
+}
+
+func TestNewBackendKinds(t *testing.T) {
+	cfg := sim.MustNew(sim.Workers(1))
+	ideal, err := NewBackend(BackendIdeal, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := cfg.Vars()
+	if got := ideal.Vars(); got != v {
+		t.Errorf("ideal memory defaulted to %d words, want the scheme's M = %d", got, v)
+	}
+	if b, err := NewBackend(BackendIdeal, sim.MustNew(sim.IdealMemory(123))); err != nil || b.Vars() != 123 {
+		t.Errorf("IdealMemory override: Vars=%d err=%v", b.Vars(), err)
+	}
+	mb, err := NewBackend(BackendMesh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mb.(*Mesh); !ok {
+		t.Fatalf("mesh backend has type %T", mb)
+	}
+	if _, err := NewBackend(BackendKind("quantum"), cfg); err == nil {
+		t.Error("unknown backend kind accepted")
+	}
+	if _, err := NewBackend(BackendMesh, sim.Config{}); err == nil {
+		t.Error("zero-value config accepted (params must not construct)")
+	}
+}
+
+func TestNewBackendCombine(t *testing.T) {
+	// The sim.Config carries the policy as a plain func; NewBackend must
+	// hand it through to both backends. Exercised with SumWrite on the
+	// mesh — three concurrent writes combine additively.
+	for _, kind := range []BackendKind{BackendIdeal, BackendMesh} {
+		b, err := NewBackend(kind, sim.MustNew(sim.Workers(1), sim.Combine(SumWrite)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.ExecStep([]Op{
+			{Kind: Write, Addr: 7, Value: 3},
+			{Kind: Write, Addr: 7, Value: 11},
+			{Kind: Write, Addr: 7, Value: 20},
+		})
+		res, err := b.ExecStep([]Op{{Kind: Read, Addr: 7}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res[0] != 34 {
+			t.Errorf("%s backend: sum combine = %d, want 34", kind, res[0])
+		}
+	}
+}
+
+func TestMeshBackendDegradationReports(t *testing.T) {
+	// Kill every module hosting a copy of variable 0: reads of it are
+	// unrecoverable and surface through LastReport (per step, with batch
+	// indexes translated back to variable addresses) and TotalReport
+	// (run-cumulative).
+	cfg := sim.MustNew(sim.Workers(1))
+	scheme, _ := cfg.Scheme()
+	f := fault.NewMap(cfg.Params.Side)
+	for _, c := range scheme.Copies(0, nil) {
+		f.KillModule(c.Proc)
+	}
+	cfg2 := sim.MustNew(sim.Workers(1), sim.Faults(f))
+	b, err := NewBackend(BackendMesh, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := b.(*Mesh)
+	if mb.LastReport() != nil || mb.TotalReport() != nil {
+		t.Fatal("reports must be nil before the first step")
+	}
+	if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}, {Kind: Read, Addr: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	r := mb.LastReport()
+	if r == nil || !r.Degraded() {
+		t.Fatalf("step against dead modules reported %v", r)
+	}
+	if len(r.Unrecoverable) != 1 || r.Unrecoverable[0] != 0 {
+		t.Fatalf("unrecoverable = %v, want [0] (variable address, not batch index)", r.Unrecoverable)
+	}
+	if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	total := mb.TotalReport()
+	if len(total.Unrecoverable) != 2 {
+		t.Errorf("cumulative unrecoverable = %v, want two entries", total.Unrecoverable)
+	}
+
+	// A healthy mesh stays clean: LastReport non-nil but undegraded
+	// whenever a fault map is installed, nil without one.
+	clean := newMesh(t, nil)
+	clean.ExecStep([]Op{{Kind: Read, Addr: 0}})
+	if clean.LastReport() != nil {
+		t.Error("faultless mesh produced a degradation report")
 	}
 }
 

@@ -19,9 +19,11 @@ import (
 	"sort"
 
 	"meshpram/internal/core"
+	"meshpram/internal/fault"
 	"meshpram/internal/hmos"
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
+	"meshpram/internal/sim"
 	"meshpram/internal/trace"
 )
 
@@ -93,6 +95,53 @@ type Backend interface {
 	Steps() int64
 }
 
+// BackendKind names a PRAM execution backend for NewBackend.
+type BackendKind string
+
+const (
+	// BackendIdeal is the machine being simulated: unit-cost shared
+	// memory.
+	BackendIdeal BackendKind = "ideal"
+	// BackendMesh is the paper's mesh simulation (internal/core).
+	BackendMesh BackendKind = "mesh"
+)
+
+// NewBackend constructs a PRAM backend from a sim.Config — the single
+// construction path both CLIs use. The ideal backend takes its memory
+// size from cfg.IdealMemory (the scheme's M when zero); the mesh
+// backend gets the full configuration, including the fault map, and
+// the config's trace sinks are wired onto its ledger.
+func NewBackend(kind BackendKind, cfg sim.Config) (Backend, error) {
+	var combine CombinePolicy
+	if cfg.Combine != nil {
+		combine = CombinePolicy(cfg.Combine)
+	}
+	switch kind {
+	case BackendIdeal:
+		words := cfg.IdealMemory
+		if words == 0 {
+			v, err := cfg.Vars()
+			if err != nil {
+				return nil, err
+			}
+			words = v
+		}
+		return NewIdeal(words, combine), nil
+	case BackendMesh:
+		mb, err := NewMesh(cfg.Params, cfg.Core, combine)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range cfg.Sinks {
+			mb.Sim.Ledger().AddSink(s)
+		}
+		return mb, nil
+	default:
+		return nil, fmt.Errorf("pram: unknown backend kind %q (want %q or %q)",
+			kind, BackendIdeal, BackendMesh)
+	}
+}
+
 // Run executes the program to completion on the backend and returns
 // the number of PRAM steps taken.
 func Run(p Program, b Backend) (pramSteps int, err error) {
@@ -127,6 +176,11 @@ type Ideal struct {
 }
 
 // NewIdeal creates an ideal PRAM with the given memory size.
+//
+// Deprecated: construct backends through NewBackend(BackendIdeal, cfg)
+// with a sim.Config built by sim.New, so every entry point shares one
+// validated configuration surface. NewIdeal remains for tests and
+// internal use.
 func NewIdeal(vars int, combine CombinePolicy) *Ideal {
 	if combine == nil {
 		combine = ArbitraryWrite
@@ -182,9 +236,17 @@ type Mesh struct {
 	Sim     *core.Simulator
 	combine CombinePolicy
 	m       *mesh.Machine
+
+	lastRep  *fault.StepReport // degradation of the most recent ExecStep
+	totalRep *fault.StepReport // accumulated degradation across the run
 }
 
 // NewMesh wraps a core simulator as a PRAM backend.
+//
+// Deprecated: construct backends through NewBackend(BackendMesh, cfg)
+// with a sim.Config built by sim.New, so every entry point shares one
+// validated configuration surface. NewMesh remains for tests and
+// internal use.
 func NewMesh(p hmos.Params, cfg core.Config, combine CombinePolicy) (*Mesh, error) {
 	sim, err := core.New(p, cfg)
 	if err != nil {
@@ -209,6 +271,15 @@ func (mb *Mesh) Steps() int64 { return mb.m.Steps() }
 func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 	res := make([]Word, len(ops))
 	n := mb.m.N
+	mb.lastRep = nil
+	defer func() {
+		if mb.lastRep != nil {
+			if mb.totalRep == nil {
+				mb.totalRep = &fault.StepReport{}
+			}
+			mb.totalRep.Merge(mb.lastRep)
+		}
+	}()
 
 	readers := map[int][]int{} // addr -> pids
 	writers := map[int][]int{}
@@ -306,16 +377,55 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 	}
 	if overlap || len(readBatch)+len(writeBatch) > n {
 		if len(readBatch) > 0 {
-			vals, _ := mb.Sim.Step(readBatch)
+			vals, err := mb.step(readBatch)
+			if err != nil {
+				return nil, err
+			}
 			fanOut(vals)
 		}
 		if len(writeBatch) > 0 {
-			mb.Sim.Step(writeBatch)
+			if _, err := mb.step(writeBatch); err != nil {
+				return nil, err
+			}
 		}
 		return res, nil
 	}
 	merged := append(readBatch, writeBatch...)
-	vals, _ := mb.Sim.Step(merged)
+	vals, err := mb.step(merged)
+	if err != nil {
+		return nil, err
+	}
 	fanOut(vals[:len(readBatch)])
 	return res, nil
 }
+
+// step runs one core protocol round, propagating validation errors and
+// folding the round's degradation report — with unrecoverable ops
+// translated from batch indexes to variable addresses — into the PRAM
+// step's report.
+func (mb *Mesh) step(batch []core.Op) ([]Word, error) {
+	vals, _, err := mb.Sim.StepChecked(batch)
+	if err != nil {
+		return nil, fmt.Errorf("pram: %w", err)
+	}
+	if r := mb.Sim.LastReport(); r != nil {
+		rep := &fault.StepReport{Ops: r.Ops, DeadOrigins: r.DeadOrigins, LostPackets: r.LostPackets}
+		for _, i := range r.Unrecoverable {
+			rep.Unrecoverable = append(rep.Unrecoverable, batch[i].Var)
+		}
+		if mb.lastRep == nil {
+			mb.lastRep = &fault.StepReport{}
+		}
+		mb.lastRep.Merge(rep)
+	}
+	return vals, nil
+}
+
+// LastReport returns the degradation report of the most recent
+// ExecStep (its protocol rounds merged; Unrecoverable holds variable
+// addresses). nil on a fault-free configuration.
+func (mb *Mesh) LastReport() *fault.StepReport { return mb.lastRep }
+
+// TotalReport returns the degradation accumulated across every
+// ExecStep since construction. nil on a fault-free configuration.
+func (mb *Mesh) TotalReport() *fault.StepReport { return mb.totalRep }

@@ -12,6 +12,8 @@ type gpkt[T any] struct {
 	val  T
 	dest int
 	seq  int32 // injection order, deterministic tie-break
+	from int32 // previous hop (-1 at injection); only the fault-aware
+	// router reads it, to demote the detour that undoes the last move
 }
 
 // garrival is a packet crossing into a new processor this cycle.

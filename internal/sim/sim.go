@@ -1,0 +1,247 @@
+// Package sim is the single front door for constructing simulations:
+// a functional-options builder that assembles and validates the HMOS
+// parameters (internal/hmos), the protocol configuration
+// (internal/core), the combining policy, the static fault model
+// (internal/fault) and the trace sinks (internal/trace) into one
+// Config. Backends consume the Config through pram.NewBackend; code
+// that drives the core simulator directly builds it with
+// Config.NewSimulator. Both CLIs construct exclusively through this
+// package, so every knob has exactly one spelling.
+//
+//	cfg, err := sim.New(sim.Side(27), sim.K(2), sim.Workers(0),
+//	        sim.FaultSpec("rand:link=0.02,seed=7"))
+//	backend, err := pram.NewBackend(pram.BackendMesh, cfg)
+//
+// sim deliberately does not import internal/pram (pram imports sim),
+// so the Config carries the combining policy as a plain
+// func([]int64) int64 — identical in underlying type to
+// pram.CombinePolicy.
+package sim
+
+import (
+	"fmt"
+
+	"meshpram/internal/core"
+	"meshpram/internal/fault"
+	"meshpram/internal/hmos"
+	"meshpram/internal/route"
+	"meshpram/internal/trace"
+)
+
+// Config is a validated simulation configuration. Obtain one through
+// New; the zero value is not usable.
+type Config struct {
+	// Params are the HMOS parameters (mesh side, q, d, k).
+	Params hmos.Params
+	// Core is the protocol configuration handed to core.New, including
+	// the fault map resolved from Faults/FaultSpec/FaultModel options.
+	Core core.Config
+	// Combine reduces concurrent writes to one value (nil = arbitrary,
+	// the lowest-pid winner). Underlying type of pram.CombinePolicy.
+	Combine func(vals []int64) int64
+	// Sinks receive every completed root span of the simulator's
+	// ledger.
+	Sinks []trace.Sink
+	// IdealMemory overrides the ideal backend's memory size in words
+	// (0 = the scheme's variable count M).
+	IdealMemory int
+
+	scheme    *hmos.Scheme
+	faultSpec string
+	faultRand *fault.Model
+}
+
+// Option configures one aspect of a simulation.
+type Option func(*Config) error
+
+// Side sets the mesh side length (n = side² processors).
+func Side(s int) Option {
+	return func(c *Config) error { c.Params.Side = s; return nil }
+}
+
+// Q sets the replication arity (prime power ≥ 3).
+func Q(q int) Option {
+	return func(c *Config) error { c.Params.Q = q; return nil }
+}
+
+// D sets the memory dimension: M = f(q, d) shared variables.
+func D(d int) Option {
+	return func(c *Config) error { c.Params.D = d; return nil }
+}
+
+// K sets the number of HMOS levels (q^k copies per variable).
+func K(k int) Option {
+	return func(c *Config) error { c.Params.K = k; return nil }
+}
+
+// Policy selects the copy-access discipline (default core.MajorityPolicy).
+func Policy(p core.AccessPolicy) Option {
+	return func(c *Config) error { c.Core.Policy = p; return nil }
+}
+
+// DisableCulling selects minimal target sets without congestion
+// control (the E2/E12 ablation).
+func DisableCulling() Option {
+	return func(c *Config) error { c.Core.DisableCulling = true; return nil }
+}
+
+// DirectRouting bypasses the staged protocol (the E12 ablation).
+func DirectRouting() Option {
+	return func(c *Config) error { c.Core.DirectRouting = true; return nil }
+}
+
+// NetworkSort runs the sorting network round by round instead of the
+// result-equivalent fast path.
+func NetworkSort() Option {
+	return func(c *Config) error { c.Core.UseNetworkSort = true; return nil }
+}
+
+// Torus adds wrap-around links to machine-spanning routing phases.
+func Torus() Option {
+	return func(c *Config) error { c.Core.Torus = true; return nil }
+}
+
+// SortAlgo selects the sorting network (route.ShearSort default).
+func SortAlgo(a route.SortAlgo) Option {
+	return func(c *Config) error { c.Core.Sort = a; return nil }
+}
+
+// Workers sets the mesh engine parallelism (0 = GOMAXPROCS, ≤1
+// sequential).
+func Workers(n int) Option {
+	return func(c *Config) error { c.Core.Workers = n; return nil }
+}
+
+// Combine sets the concurrent-write combining policy. The argument's
+// underlying type matches pram.CombinePolicy, so pram.MaxWrite and
+// friends can be passed directly.
+func Combine(fn func(vals []int64) int64) Option {
+	return func(c *Config) error { c.Combine = fn; return nil }
+}
+
+// Faults installs an explicit static fault map. Overrides FaultSpec
+// and FaultModel.
+func Faults(f *fault.Map) Option {
+	return func(c *Config) error { c.Core.Faults = f; return nil }
+}
+
+// FaultSpec installs the fault map described by a textual spec (see
+// fault.Parse), resolved against the final mesh side once all options
+// are applied. The empty spec is a no-op, so a CLI can pass its
+// -faults flag value unconditionally.
+func FaultSpec(spec string) Option {
+	return func(c *Config) error { c.faultSpec = spec; return nil }
+}
+
+// FaultModel installs the fault map drawn by a seeded random model
+// (see fault.Model), built against the final mesh side once all
+// options are applied.
+func FaultModel(m fault.Model) Option {
+	return func(c *Config) error { c.faultRand = &m; return nil }
+}
+
+// TraceSink registers a sink receiving every completed root span of
+// the simulator's cost ledger. May be given multiple times.
+func TraceSink(s trace.Sink) Option {
+	return func(c *Config) error {
+		if s != nil {
+			c.Sinks = append(c.Sinks, s)
+		}
+		return nil
+	}
+}
+
+// IdealMemory sets the ideal backend's memory size in words; the mesh
+// backend ignores it. Use when a program's address space exceeds the
+// scheme's M on ideal-only runs.
+func IdealMemory(words int) Option {
+	return func(c *Config) error {
+		if words < 0 {
+			return fmt.Errorf("sim: ideal memory %d words must be ≥ 0", words)
+		}
+		c.IdealMemory = words
+		return nil
+	}
+}
+
+// New applies the options over the default configuration (side 9,
+// q 3, d 3, k 2 — the smallest two-level instance) and validates the
+// result: the HMOS parameters must construct, and the fault map (from
+// whichever of Faults/FaultSpec/FaultModel is present) must match the
+// mesh side.
+func New(opts ...Option) (Config, error) {
+	c := Config{Params: hmos.Params{Side: 9, Q: 3, D: 3, K: 2}}
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return Config{}, err
+		}
+	}
+	if c.Core.Faults == nil {
+		switch {
+		case c.faultSpec != "":
+			f, err := fault.Parse(c.Params.Side, c.faultSpec)
+			if err != nil {
+				return Config{}, fmt.Errorf("sim: %w", err)
+			}
+			c.Core.Faults = f
+		case c.faultRand != nil:
+			// A draw that hits nothing stays on the nil fast path, like
+			// fault.Parse on an all-healthy spec.
+			if f := c.faultRand.Build(c.Params.Side); !f.Empty() {
+				c.Core.Faults = f
+			}
+		}
+	}
+	s, err := hmos.New(c.Params)
+	if err != nil {
+		return Config{}, fmt.Errorf("sim: %w", err)
+	}
+	c.scheme = s
+	if f := c.Core.Faults; f != nil && f.Side() != c.Params.Side {
+		return Config{}, fmt.Errorf("sim: fault map side %d does not match mesh side %d",
+			f.Side(), c.Params.Side)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(opts ...Option) Config {
+	c, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Vars returns the shared-memory size M of the configured scheme.
+func (c Config) Vars() (int, error) {
+	s, err := c.schemeOf()
+	if err != nil {
+		return 0, err
+	}
+	return s.Vars(), nil
+}
+
+// Scheme returns the configured HMOS scheme (constructed during New,
+// or on demand for hand-assembled Configs).
+func (c Config) Scheme() (*hmos.Scheme, error) { return c.schemeOf() }
+
+func (c Config) schemeOf() (*hmos.Scheme, error) {
+	if c.scheme != nil {
+		return c.scheme, nil
+	}
+	return hmos.New(c.Params)
+}
+
+// NewSimulator builds the core protocol simulator for this
+// configuration and wires the registered trace sinks onto its ledger.
+func (c Config) NewSimulator() (*core.Simulator, error) {
+	s, err := core.New(c.Params, c.Core)
+	if err != nil {
+		return nil, err
+	}
+	for _, sink := range c.Sinks {
+		s.Ledger().AddSink(sink)
+	}
+	return s, nil
+}

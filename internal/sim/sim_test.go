@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"meshpram/internal/core"
+	"meshpram/internal/fault"
+	"meshpram/internal/trace"
+)
+
+func TestNewDefaults(t *testing.T) {
+	c, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Params
+	if p.Side != 9 || p.Q != 3 || p.D != 3 || p.K != 2 {
+		t.Errorf("default params = %+v", p)
+	}
+	if c.Core.Faults != nil {
+		t.Error("default config carries a fault map")
+	}
+	v, err := c.Vars()
+	if err != nil || v <= 0 {
+		t.Errorf("Vars() = %d, %v", v, err)
+	}
+	if s, err := c.Scheme(); err != nil || s == nil {
+		t.Errorf("Scheme() = %v, %v", s, err)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	c := MustNew(
+		Side(27), Q(3), D(5), K(2),
+		Policy(core.ReadOneWriteAllPolicy), DisableCulling(), Torus(),
+		Workers(3), IdealMemory(4096),
+		Combine(func(vals []int64) int64 { return vals[0] }),
+	)
+	if c.Params.Side != 27 || c.Params.D != 5 {
+		t.Errorf("params = %+v", c.Params)
+	}
+	if c.Core.Policy != core.ReadOneWriteAllPolicy || !c.Core.DisableCulling || !c.Core.Torus {
+		t.Errorf("core config = %+v", c.Core)
+	}
+	if c.Core.Workers != 3 || c.IdealMemory != 4096 || c.Combine == nil {
+		t.Error("workers / ideal memory / combine not applied")
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(Side(10)); err == nil {
+		t.Error("invalid HMOS side accepted")
+	}
+	if _, err := New(IdealMemory(-1)); err == nil {
+		t.Error("negative ideal memory accepted")
+	}
+	if _, err := New(FaultSpec("node:")); err == nil {
+		t.Error("malformed fault spec accepted")
+	}
+	// An explicit map for the wrong side must be rejected against the
+	// final side, whatever the option order.
+	if _, err := New(Faults(fault.NewMap(9).KillNode(0)), Side(27)); err == nil {
+		t.Error("fault map side mismatch accepted")
+	}
+}
+
+func TestFaultResolution(t *testing.T) {
+	// FaultSpec resolves against the final side, even when given first.
+	c := MustNew(FaultSpec("node:700"), Side(27))
+	if c.Core.Faults == nil || !c.Core.Faults.NodeDead(700) {
+		t.Fatalf("spec not resolved: %v", c.Core.Faults)
+	}
+	if c.Core.Faults.Side() != 27 {
+		t.Errorf("map built for side %d", c.Core.Faults.Side())
+	}
+
+	// Empty spec and all-healthy model leave the fast path (nil map).
+	if c := MustNew(FaultSpec("")); c.Core.Faults != nil {
+		t.Error("empty spec produced a map")
+	}
+	if c := MustNew(FaultModel(fault.Model{Seed: 3})); c.Core.Faults != nil {
+		t.Error("zero-rate model produced a map")
+	}
+
+	if c := MustNew(FaultModel(fault.Model{LinkRate: 0.5, Seed: 7})); c.Core.Faults.Empty() {
+		t.Error("lossy model built an empty map")
+	}
+
+	// An explicit map wins over both spec and model.
+	f := fault.NewMap(9).KillModule(11)
+	c = MustNew(FaultSpec("node:1"), FaultModel(fault.Model{LinkRate: 0.5, Seed: 1}), Faults(f))
+	if c.Core.Faults != f {
+		t.Error("explicit Faults map did not take precedence")
+	}
+}
+
+type recordingSink struct{ names []string }
+
+func (r *recordingSink) Emit(root *trace.Span) { r.names = append(r.names, root.Name()) }
+
+func TestNewSimulatorWiresSinks(t *testing.T) {
+	rec := &recordingSink{}
+	c := MustNew(Workers(1), TraceSink(rec), TraceSink(nil))
+	if len(c.Sinks) != 1 {
+		t.Fatalf("%d sinks registered, want 1 (nil dropped)", len(c.Sinks))
+	}
+	s, err := c.NewSimulator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step([]core.Op{{Origin: 0, Var: 1, IsWrite: true, Value: 5}})
+	if len(rec.names) == 0 || !strings.Contains(rec.names[0], "step") {
+		t.Fatalf("sink saw %v, want the step root span", rec.names)
+	}
+}

@@ -347,6 +347,18 @@ func New(opts ...Option) *Ledger {
 	return l
 }
 
+// AddSink registers a sink on an existing ledger — the
+// post-construction form of WithSink, for builders that wire sinks
+// after the ledger is already owned by a machine or simulator.
+func (l *Ledger) AddSink(s Sink) {
+	if l == nil || s == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sinks = append(l.sinks, s)
+	l.mu.Unlock()
+}
+
 // Begin opens a span nested under the currently active span (a new root
 // when none is active) and makes it active.
 func (l *Ledger) Begin(name string, phase Phase) *Span {

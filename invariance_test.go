@@ -6,6 +6,7 @@ import (
 
 	"meshpram/internal/baseline"
 	"meshpram/internal/core"
+	"meshpram/internal/fault"
 	"meshpram/internal/hmos"
 	"meshpram/internal/mpc"
 	"meshpram/internal/workload"
@@ -104,6 +105,38 @@ func TestInvarianceCoreStaged(t *testing.T) {
 			pageLoadMax: []int{0, 11, 23},
 			resSum: 2029765, meshSteps: 4795},
 	})
+}
+
+// TestFaultFreeInvariance pins the fault-rate-0 guarantee: a non-nil
+// but empty fault map routes every decision through the fault-aware
+// code paths (availability masks, detour-capable router, degradation
+// verdict) yet must reproduce the healthy fixtures bit for bit — same
+// phase charges, same results, same ledger totals — and report a
+// non-degraded step.
+func TestFaultFreeInvariance(t *testing.T) {
+	runCoreFixture(t, "staged-emptyfaults", core.Config{Faults: fault.NewMap(9)}, []coreStepFixture{
+		{packets: 324, culling: 1864, sort: 423, rank: 38, forward: 29, access: 16, ret: 29,
+			total: 2399, stageForward: []int64{0, 0, 38, 452}, delta: []int{12, 12, 9, 4},
+			pageLoadMax: []int{0, 12, 25}, pageLoadBound: []int{0, 324, 972},
+			resSum: 1322407, meshSteps: 2399},
+		{culling: 1864, sort: 420, rank: 38, forward: 30, access: 15, ret: 29,
+			total: 2396, stageForward: []int64{0, 0, 36, 452}, delta: []int{11, 11, 8, 4},
+			pageLoadMax: []int{0, 11, 23},
+			resSum: 2029765, meshSteps: 4795},
+	})
+
+	sim := core.MustNew(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{Faults: fault.NewMap(9)})
+	vars := workload.RandomDistinct(sim.Scheme().Vars(), sim.Mesh().N, 42)
+	if _, _, err := sim.StepChecked(vars.Mixed(1000)); err != nil {
+		t.Fatal(err)
+	}
+	rep := sim.LastReport()
+	if rep == nil {
+		t.Fatal("faulty configuration produced no degradation report")
+	}
+	if rep.Degraded() {
+		t.Errorf("empty fault map degraded the step: %s", rep)
+	}
 }
 
 func TestInvarianceCoreDirect(t *testing.T) {
