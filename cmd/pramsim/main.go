@@ -6,12 +6,18 @@
 //
 //	pramsim -program prefixsum|listrank|matvec [-side 9] [-q 3] [-d 3]
 //	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-workers N]
-//	        [-faults SPEC] [-trace]
+//	        [-faults SPEC] [-fault-schedule SPEC] [-repair off|eager|lazy]
+//	        [-retry N] [-trace]
 //
 // -trace prints the cost-ledger tree of the last simulated PRAM step.
 // -faults injects a static fault map (see internal/fault.Parse), e.g.
 // "link:5-6;module:40" or "rand:link=0.02,seed=7"; the run then prints
 // the accumulated degradation report.
+// -fault-schedule injects a dynamic fault timeline (see
+// fault.ParseSchedule), e.g. "@3 module:40;@7 revive-module:40" or
+// "churn:module=0.001,repair=10,until=200,seed=7"; -repair selects the
+// self-healing scrub policy and -retry the checkpointed-retry budget
+// per PRAM step. The verdict then includes repair and retry counters.
 //
 // Both backends are constructed through the internal/sim builder —
 // the single validated configuration surface of the repository.
@@ -23,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 
+	"meshpram/internal/core"
 	"meshpram/internal/pram"
 	"meshpram/internal/sim"
 	"meshpram/internal/stats"
@@ -39,9 +46,15 @@ func main() {
 	backend := flag.String("backend", "both", "both | ideal | mesh")
 	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
 	faults := flag.String("faults", "", "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
+	schedule := flag.String("fault-schedule", "", "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
+	repairFlag := flag.String("repair", "off", "self-healing scrub policy: off | eager | lazy")
+	retry := flag.Int("retry", 0, "checkpointed-retry budget per PRAM step (0 = off)")
 	showTrace := flag.Bool("trace", false, "print the cost-ledger tree of the last PRAM step")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
+
+	repair, err := core.ParseRepairPolicy(*repairFlag)
+	fatalIf(err)
 
 	build := func() pram.Program {
 		rng := rand.New(rand.NewSource(*seed))
@@ -85,6 +98,9 @@ func main() {
 		sim.Side(*side), sim.Q(*q), sim.D(*d), sim.K(*k),
 		sim.Workers(*workers),
 		sim.FaultSpec(*faults),
+		sim.FaultScheduleSpec(*schedule),
+		sim.Repair(repair),
+		sim.Retry(*retry),
 		sim.IdealMemory(1<<20),
 	)
 	fatalIf(err)
@@ -113,6 +129,14 @@ func main() {
 		fmt.Printf("mesh:        %d PRAM steps simulated in %d mesh steps\n", steps, meshSteps)
 		if rep := mb.TotalReport(); rep != nil {
 			fmt.Printf("degradation: %s\n", rep)
+		}
+		if rs := mb.RepairStats(); rs.Scrubs > 0 || rs.ModuleDeaths > 0 {
+			fmt.Printf("repair:      %d module deaths, %d scrubs, %d copies rebuilt, %d residual, %d remapped, %d repair steps\n",
+				rs.ModuleDeaths, rs.Scrubs, rs.Repaired, rs.Residual, rs.Remapped, rs.Steps)
+		}
+		if rec := mb.Recovery(); rec.Retries > 0 {
+			fmt.Printf("retry:       %d retries, %d steps recovered, %d exhausted, %d backoff steps\n",
+				rec.Retries, rec.Recovered, rec.Exhausted, rec.Backoff)
 		}
 		if *showTrace {
 			fmt.Printf("\ncost ledger of the last PRAM step:\n")

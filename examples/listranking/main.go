@@ -15,9 +15,8 @@ import (
 	"log"
 	"math/rand"
 
-	"meshpram/internal/core"
-	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 )
 
 func main() {
@@ -34,7 +33,11 @@ func main() {
 	next[terminal] = terminal
 
 	prog := &pram.ListRank{Succ: next, NextBase: 0, RankBase: n}
-	mb, err := pram.NewMesh(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{}, nil)
+	scfg, err := sim.New(sim.Side(9), sim.Q(3), sim.D(3), sim.K(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := pram.NewBackend(pram.BackendMesh, scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,9 +13,8 @@ import (
 	"log"
 	"math/rand"
 
-	"meshpram/internal/core"
-	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 )
 
 func main() {
@@ -39,10 +38,15 @@ func main() {
 	}
 
 	// M = f(3,4) = 1080 ≥ r·c + c + r = 624 cells.
-	mb, err := pram.NewMesh(hmos.Params{Side: 27, Q: 3, D: 4, K: 2}, core.Config{}, nil)
+	scfg, err := sim.New(sim.Side(27), sim.Q(3), sim.D(4), sim.K(2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	b, err := pram.NewBackend(pram.BackendMesh, scfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb := b.(*pram.Mesh)
 	steps, err := pram.Run(prog, mb)
 	if err != nil {
 		log.Fatal(err)

@@ -14,9 +14,8 @@ import (
 	"log"
 	"math/rand"
 
-	"meshpram/internal/core"
-	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 )
 
 func main() {
@@ -35,7 +34,10 @@ func main() {
 	}
 
 	// Ideal PRAM.
-	ideal := pram.NewIdeal(256, nil)
+	ideal, err := pram.NewBackend(pram.BackendIdeal, sim.MustNew(sim.IdealMemory(256)))
+	if err != nil {
+		log.Fatal(err)
+	}
 	idealPRAMSteps, err := pram.Run(&pram.PrefixSum{In: in}, ideal)
 	if err != nil {
 		log.Fatal(err)
@@ -44,7 +46,11 @@ func main() {
 		idealPRAMSteps, len(in))
 
 	// Mesh simulation: 81 processors, memory f(3,3)=117 ≥ 81 cells.
-	mb, err := pram.NewMesh(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{}, nil)
+	scfg, err := sim.New(sim.Side(9), sim.Q(3), sim.D(3), sim.K(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := pram.NewBackend(pram.BackendMesh, scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,32 +16,37 @@ import (
 
 	"meshpram/internal/core"
 	"meshpram/internal/hmos"
+	"meshpram/internal/sim"
 )
 
 func main() {
-	params := hmos.Params{
-		Side: 9, // 9×9 mesh, n = 81 processors
-		Q:    3, // each module replicated into q = 3 copies per level
-		D:    3, // shared memory M = f(3,3) = 117 variables
-		K:    2, // two levels of logical modules
-	}
-	sim, err := core.New(params, core.Config{})
+	scfg, err := sim.New(
+		sim.Side(9), // 9×9 mesh, n = 81 processors
+		sim.Q(3),    // each module replicated into q = 3 copies per level
+		sim.D(3),    // shared memory M = f(3,3) = 117 variables
+		sim.K(2),    // two levels of logical modules
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := sim.Scheme()
+	simulator, err := scfg.NewSimulator()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := scfg.Params
+	s := simulator.Scheme()
 	fmt.Printf("mesh: %d processors; memory: %d variables (alpha = %.2f)\n",
-		sim.Mesh().N, s.Vars(), s.Alpha())
+		simulator.Mesh().N, s.Vars(), s.Alpha())
 	fmt.Printf("redundancy: %d copies/variable, %d accessed per operation\n\n",
 		s.CopiesPerVar(), hmos.MinTargetSetSize(params.Q, params.K, params.K))
 
 	// One PRAM step: every processor writes a distinct variable.
-	n := sim.Mesh().N
+	n := simulator.Mesh().N
 	writes := make([]core.Op, n)
 	for i := range writes {
 		writes[i] = core.Op{Origin: i, Var: i, IsWrite: true, Value: core.Word(i * i)}
 	}
-	_, wst := sim.Step(writes)
+	_, wst := simulator.Step(writes)
 	fmt.Printf("write step: %d packets in %d mesh steps\n", wst.Packets, wst.Total())
 	fmt.Printf("  culling %d | sort %d | rank %d | route %d | access %d | return %d\n\n",
 		wst.Culling, wst.Sort, wst.Rank, wst.Forward, wst.Access, wst.Return)
@@ -51,7 +56,7 @@ func main() {
 	for i := range reads {
 		reads[i] = core.Op{Origin: i, Var: (i + 1) % n}
 	}
-	vals, rst := sim.Step(reads)
+	vals, rst := simulator.Step(reads)
 	fmt.Printf("read step: %d mesh steps; spot check: var 8 = %d (want 64)\n",
 		rst.Total(), vals[7])
 	if vals[7] != 64 {
@@ -63,5 +68,5 @@ func main() {
 		fmt.Printf("level-%d pages: max load %d (Theorem 3 bound %d)\n",
 			lvl, rst.PageLoadMax[lvl], rst.PageLoadBound[lvl])
 	}
-	fmt.Printf("\ntotal mesh steps this session: %d (the PRAM did 2 steps)\n", sim.Mesh().Steps())
+	fmt.Printf("\ntotal mesh steps this session: %d (the PRAM did 2 steps)\n", simulator.Mesh().Steps())
 }

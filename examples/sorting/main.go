@@ -15,9 +15,8 @@ import (
 	"math/rand"
 	"sort"
 
-	"meshpram/internal/core"
-	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 )
 
 func main() {
@@ -30,7 +29,11 @@ func main() {
 	want := append([]pram.Word(nil), in...)
 	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
 
-	mb, err := pram.NewMesh(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{}, nil)
+	scfg, err := sim.New(sim.Side(9), sim.Q(3), sim.D(3), sim.K(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mb, err := pram.NewBackend(pram.BackendMesh, scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

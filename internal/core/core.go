@@ -97,9 +97,22 @@ type Config struct {
 	// budget (extra cycles are charged to the ledger like any routing
 	// cost), and Step reports per-op degradation through LastReport.
 	// nil (the default) is a healthy machine on the unchanged fast
-	// path; the map must be built for the same mesh side and must not
-	// be mutated after construction (static faults).
+	// path; the map must be built for the same mesh side and is frozen
+	// on installation (fault.Map.Freeze) — static faults stay static.
 	Faults *fault.Map
+	// Schedule drives dynamic faults: a deterministic, time-indexed
+	// event list (internal/fault) applied to the simulator's live map
+	// as the step clock advances. The simulator owns a private clone of
+	// Faults (or a fresh empty map) as the evolving state, so the
+	// caller's map is never mutated. An event at step t takes effect
+	// before the (t+1)-th step; step-0 events are in effect from the
+	// first step, making a step-0-only schedule equivalent to the same
+	// static map. nil or empty keeps the static behavior bit-identical.
+	Schedule *fault.Schedule
+	// Repair selects the self-healing policy (see RepairPolicy): when
+	// and whether the scrub pass rebuilds copies lost to module deaths
+	// from the surviving majority. Default RepairOff.
+	Repair RepairPolicy
 }
 
 // StepStats is the per-PRAM-step cost breakdown and diagnostics.
@@ -112,6 +125,7 @@ type StepStats struct {
 	Forward int64 // origin→copy routing cycles, all stages
 	Access  int64 // local memory accesses (max per processor)
 	Return  int64 // copy→origin routing cycles, all stages
+	Repair  int64 // self-healing scrub traffic charged inside the step
 
 	// StageForward[s] is the forward routing cost charged for protocol
 	// stage s (index K+1 … 1; index 0 unused).
@@ -129,7 +143,7 @@ type StepStats struct {
 
 // Total returns the charged steps of the PRAM step.
 func (st *StepStats) Total() int64 {
-	return st.Culling + st.Sort + st.Rank + st.Forward + st.Access + st.Return
+	return st.Culling + st.Sort + st.Rank + st.Forward + st.Access + st.Return + st.Repair
 }
 
 // StatsFromSpan computes the StepStats view from one PRAM-step span
@@ -154,6 +168,7 @@ func StatsFromSpan(step *trace.Span, K int) *StepStats {
 	st.Forward = pt[trace.PhaseForward]
 	st.Access = pt[trace.PhaseAccess]
 	st.Return = pt[trace.PhaseReturn]
+	st.Repair = pt[trace.PhaseRepair]
 	st.Packets = int(step.Packets())
 	for _, c := range step.Children() {
 		if s, ok := c.Attr("stage"); ok && int(s) < len(st.StageForward) {
@@ -196,6 +211,20 @@ type Simulator struct {
 
 	rep     *fault.StepReport // degradation collector of the running step
 	lastRep *fault.StepReport // report of the most recent step (nil = healthy cfg)
+
+	// Dynamic faults and self-healing (repair.go). faults is the live
+	// map: cfg.Faults itself in the static case, a private clone of it
+	// when a schedule evolves the fault world. schedAt is the schedule
+	// replay cursor (monotone; deliberately not part of snapshots).
+	faults   *fault.Map
+	schedAt  int
+	hardened bool // select level-0 target sets (the retry path)
+
+	remap   map[int]int    // dead module → spare holding its relocated copies
+	quar    map[int64]bool // copy slots with lost data; excluded until rebuilt
+	pending []int          // dead modules awaiting a scrub
+	hostIdx [][]hostRef    // original home proc → copies stored there (lazy)
+	rstats  RepairStats
 }
 
 type cell struct {
@@ -219,19 +248,36 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 	if cfg.Faults != nil && cfg.Faults.Side() != p.Side {
 		return nil, fmt.Errorf("core: fault map side %d does not match mesh side %d", cfg.Faults.Side(), p.Side)
 	}
-	m.SetFaults(cfg.Faults)
+	if cfg.Repair < RepairOff || cfg.Repair > RepairLazy {
+		return nil, fmt.Errorf("core: invalid repair policy %d", cfg.Repair)
+	}
+	live := cfg.Faults
+	if !cfg.Schedule.Empty() {
+		if cfg.Schedule.Side() != p.Side {
+			return nil, fmt.Errorf("core: fault schedule side %d does not match mesh side %d", cfg.Schedule.Side(), p.Side)
+		}
+		// The schedule evolves a private clone, so the caller's (frozen)
+		// base map stays a faithful record of the initial epoch.
+		if live == nil {
+			live = fault.NewMap(p.Side)
+		} else {
+			live = live.Clone()
+		}
+	}
+	m.SetFaults(live)
 	if cfg.Workers != 1 {
 		m.SetParallel(cfg.Workers)
 	}
 	ld := trace.New()
 	m.AttachLedger(ld)
 	return &Simulator{
-		S:     s,
-		M:     m,
-		cfg:   cfg,
-		ld:    ld,
-		arena: newPktArena(m.N),
-		store: make([]map[int64]cell, m.N),
+		S:      s,
+		M:      m,
+		cfg:    cfg,
+		ld:     ld,
+		arena:  newPktArena(m.N),
+		store:  make([]map[int64]cell, m.N),
+		faults: live,
 	}, nil
 }
 
@@ -321,7 +367,7 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	}
 
 	sim.now++
-	f := sim.cfg.Faults
+	f := sim.faults
 	if f != nil {
 		sim.rep = &fault.StepReport{Ops: len(ops)}
 	}
@@ -331,31 +377,58 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	}()
 
 	if len(ops) == 0 {
+		// Time still passes: due events apply (and an eager scrub runs
+		// under its own root span) even on an empty step.
+		sim.advanceSchedule()
 		return nil, StatsFromSpan(nil, K), nil
 	}
 
+	step := ld.Begin("step", trace.PhaseOther)
+
+	// Dynamic faults: apply the events due before this step. Under the
+	// eager policy the scrub runs here, inside the step span, so its
+	// repair traffic lands in this step's cost tree — and the masks
+	// below already see the healed world.
+	sim.advanceSchedule()
+
 	// Availability masks: which copies of each op are on live modules.
-	// Ops originating at dead processors cannot issue at all — their
-	// mask is empty, which makes selection report them unservable.
+	// A copy relocated by repair counts as live at its spare; a
+	// quarantined copy (data lost, not yet rebuilt) counts as dead even
+	// when its module is back up. Ops originating at dead processors
+	// cannot issue at all — their mask is empty, which makes selection
+	// report them unservable.
 	var avail [][]bool
 	if f != nil {
 		avail = make([][]bool, len(ops))
-		var cbuf []hmos.Copy
-		for i, op := range ops {
-			mask := make([]bool, s.Redundant)
-			avail[i] = mask
-			if f.NodeDead(op.Origin) {
-				sim.rep.DeadOrigins++
-				continue
+		buildAvail := func() bool {
+			degraded := false
+			sim.rep.DeadOrigins = 0
+			var cbuf []hmos.Copy
+			for i, op := range ops {
+				mask := make([]bool, s.Redundant)
+				avail[i] = mask
+				if f.NodeDead(op.Origin) {
+					sim.rep.DeadOrigins++
+					degraded = true
+					continue
+				}
+				cbuf = s.Copies(op.Var, cbuf[:0])
+				for leaf, c := range cbuf {
+					mask[leaf] = !f.ModuleDead(sim.resolveProc(c.Proc)) && !sim.quar[c.Slot]
+					if !mask[leaf] {
+						degraded = true
+					}
+				}
 			}
-			cbuf = s.Copies(op.Var, cbuf[:0])
-			for leaf, c := range cbuf {
-				mask[leaf] = !f.ModuleDead(c.Proc)
-			}
+			return degraded
+		}
+		// Lazy repair: the first step that touches a degraded variable
+		// triggers the scrub, then re-reads the healed world.
+		if buildAvail() && sim.cfg.Repair == RepairLazy && (len(sim.pending) > 0 || len(sim.quar) > 0) {
+			sim.scrub()
+			buildAvail()
 		}
 	}
-
-	step := ld.Begin("step", trace.PhaseOther)
 
 	// 1. Copy selection.
 	csp := ld.Begin("culling", trace.PhaseCulling)
@@ -367,6 +440,8 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	switch {
 	case sim.cfg.Policy == ReadOneWriteAllPolicy:
 		sel = sim.selectReadOneWriteAll(ops, avail)
+	case sim.hardened:
+		sel = culling.SelectHardenedAvail(s, m, reqs, avail)
 	case sim.cfg.DisableCulling:
 		sel = culling.SelectWithoutCullingAvail(s, m, reqs, avail)
 	default:
@@ -388,7 +463,7 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 			pkts[op.Origin] = append(pkts[op.Origin], pkt{
 				op:     int32(i),
 				seq:    seq,
-				dest:   c.Proc,
+				dest:   sim.resolveProc(c.Proc),
 				origin: op.Origin,
 				slot:   int64(op.Var)*int64(s.Redundant) + int64(c.Leaf),
 				isW:    op.IsWrite,
@@ -808,7 +883,7 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op, avail [][]bool) *culling.R
 func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, dest func(pkt) int) ([][]pkt, int64) {
 	buf := sim.arena.get()
 	torus := sim.cfg.Torus && fullMachine
-	if sim.cfg.Faults != nil {
+	if sim.faults != nil {
 		var delivered [][]pkt
 		var cycles int64
 		var lost int

@@ -1,0 +1,386 @@
+package core
+
+// The self-healing layer: dynamic fault schedules evolve the live fault
+// map between PRAM steps, module deaths lose the data they hosted, and
+// the scrub pass rebuilds every lost copy whose variable still holds a
+// live target set — routing the freshest surviving value to a healthy
+// replacement slot through the real (fault-aware) router, charged to
+// the repair phase of the cost ledger.
+//
+// Data-loss fiction. A module that dies loses its contents: the store
+// is deleted and every copy currently homed there is quarantined. A
+// quarantined copy is excluded from availability masks until a scrub
+// rebuilds it, so a revived (or remapped) blank module can never
+// satisfy a read with a silently stale value — the timestamp rule only
+// arbitrates among copies that actually hold data.
+//
+// Soundness. The scrub rebuilds a copy of variable v only when v's
+// live (module-alive, unquarantined) leaves still access the root of
+// T_v. In that case the freshest live value is the last value written:
+// every write reaches a target set, and any two target sets of T_v
+// intersect in a live copy, so the maximum timestamp over the live
+// copies belongs to the most recent write. Below that threshold the
+// copy stays quarantined (Residual); a later complete write to v
+// restores the variable in full, but the scrub alone cannot.
+
+import (
+	"fmt"
+	"sort"
+
+	"meshpram/internal/fault"
+	"meshpram/internal/hmos"
+	"meshpram/internal/route"
+	"meshpram/internal/trace"
+)
+
+// RepairPolicy selects when the simulator runs the scrub pass that
+// rebuilds copies lost to module deaths.
+type RepairPolicy int
+
+const (
+	// RepairOff never scrubs: lost copies stay quarantined and the
+	// step-level majority rule alone decides what remains servable.
+	RepairOff RepairPolicy = iota
+	// RepairEager scrubs immediately after every module death the
+	// schedule delivers, before the next step's copy selection.
+	RepairEager
+	// RepairLazy defers the scrub to the first step whose availability
+	// masks actually touch a degraded copy (scrub-on-first-degraded-read).
+	RepairLazy
+)
+
+func (p RepairPolicy) String() string {
+	switch p {
+	case RepairOff:
+		return "off"
+	case RepairEager:
+		return "eager"
+	case RepairLazy:
+		return "lazy"
+	}
+	return fmt.Sprintf("RepairPolicy(%d)", int(p))
+}
+
+// ParseRepairPolicy parses "off", "eager" or "lazy" (empty = off).
+func ParseRepairPolicy(s string) (RepairPolicy, error) {
+	switch s {
+	case "", "off":
+		return RepairOff, nil
+	case "eager":
+		return RepairEager, nil
+	case "lazy":
+		return RepairLazy, nil
+	}
+	return RepairOff, fmt.Errorf("core: unknown repair policy %q (want off, eager or lazy)", s)
+}
+
+// RepairStats are the accumulated self-healing counters of a simulator.
+type RepairStats struct {
+	ModuleDeaths int   // module-availability losses delivered by the schedule
+	Scrubs       int   // scrub passes run
+	Repaired     int   // copies rebuilt from a surviving target set
+	Residual     int   // copies still quarantined after the latest scrub
+	Remapped     int   // dead modules whose copies were relocated to a spare
+	Steps        int64 // mesh steps charged to the repair phase by scrubs
+}
+
+// hostRef locates one copy by (variable, leaf) in the inverted
+// home-processor index.
+type hostRef struct {
+	v, leaf int32
+}
+
+// rpkt is a repair packet: the freshest surviving value of a variable
+// on its way to a replacement copy slot.
+type rpkt struct {
+	dest int
+	slot int64
+	val  Word
+	ts   int64
+}
+
+// RepairStats returns a copy of the self-healing counters.
+func (sim *Simulator) RepairStats() RepairStats { return sim.rstats }
+
+// FaultAware reports whether the simulator tracks a fault world at all
+// (static map or schedule). Fault-free simulators pay no repair logic.
+func (sim *Simulator) FaultAware() bool { return sim.faults != nil }
+
+// SetHardened toggles hardened copy selection: level-0 (all-Extensive)
+// target sets instead of cost-minimal ones, so the access survives
+// isolated packet loss on the round trip. The retry path in
+// internal/pram turns this on for the re-execution after a rollback.
+func (sim *Simulator) SetHardened(on bool) { sim.hardened = on }
+
+// advanceSchedule applies the schedule events due before the current
+// step (an event at step t takes effect after t completed steps) to
+// the live fault map, reacting to module deaths with the data-loss
+// fiction. Under the eager policy it then scrubs at once.
+func (sim *Simulator) advanceSchedule() {
+	sch := sim.cfg.Schedule
+	if sch.Empty() {
+		return
+	}
+	evs, cur := sch.EventsBefore(sim.schedAt, sim.now)
+	sim.schedAt = cur
+	for _, ev := range evs {
+		sim.applyEvent(ev)
+	}
+	if sim.cfg.Repair == RepairEager && len(sim.pending) > 0 {
+		sim.scrub()
+	}
+}
+
+// applyEvent applies one schedule event, watching for the
+// module-availability transition (a node death takes its memory module
+// down with it) so the stored data is lost exactly once per death.
+func (sim *Simulator) applyEvent(ev fault.Event) {
+	f := sim.faults
+	switch ev.Kind {
+	case fault.EvKillNode, fault.EvKillModule:
+		wasDead := f.ModuleDead(ev.P)
+		f.Apply(ev)
+		if !wasDead && f.ModuleDead(ev.P) {
+			sim.moduleDied(ev.P)
+		}
+	default:
+		f.Apply(ev)
+	}
+}
+
+// moduleDied records a fresh module death and loses its data.
+func (sim *Simulator) moduleDied(p int) {
+	sim.rstats.ModuleDeaths++
+	sim.loseModuleData(p)
+}
+
+// loseModuleData implements the data-loss fiction for module p: delete
+// the store, quarantine every copy whose current home resolves to p,
+// and queue p for the next scrub.
+func (sim *Simulator) loseModuleData(p int) {
+	sim.store[p] = nil
+	sim.ensureHostIdx()
+	if sim.quar == nil {
+		sim.quar = make(map[int64]bool)
+	}
+	red := int64(sim.S.Redundant)
+	for home := 0; home < sim.M.N; home++ {
+		if len(sim.hostIdx[home]) == 0 || sim.resolveProc(home) != p {
+			continue
+		}
+		for _, hr := range sim.hostIdx[home] {
+			sim.quar[int64(hr.v)*red+int64(hr.leaf)] = true
+		}
+	}
+	sim.pending = append(sim.pending, p)
+}
+
+// ensureHostIdx builds (once) the inverted index from home processor to
+// the copies stored there. The copy layout is static, so the index is
+// computed from the scheme, not the store.
+func (sim *Simulator) ensureHostIdx() {
+	if sim.hostIdx != nil {
+		return
+	}
+	sim.hostIdx = make([][]hostRef, sim.M.N)
+	var buf []hmos.Copy
+	for v := 0; v < sim.S.Vars(); v++ {
+		buf = sim.S.Copies(v, buf[:0])
+		for leaf, c := range buf {
+			sim.hostIdx[c.Proc] = append(sim.hostIdx[c.Proc], hostRef{v: int32(v), leaf: int32(leaf)})
+		}
+	}
+}
+
+// resolveProc follows the remap chain from a copy's original home to
+// the module currently hosting it. Chains stay acyclic: a spare is
+// alive when claimed, and if it later dies it gets its own entry.
+func (sim *Simulator) resolveProc(p int) int {
+	for {
+		q, ok := sim.remap[p]
+		if !ok {
+			return p
+		}
+		p = q
+	}
+}
+
+// spareFor picks the replacement module for the dead processor p:
+// deterministically the next live processor in snake order of p's
+// level-1 submesh (locality keeps relocated copies near their
+// tessellation page), falling back to a global scan. Modules already
+// claimed as spares are preferred-against but accepted when nothing
+// else is alive. Returns -1 when no live module remains.
+func (sim *Simulator) spareFor(dead int) int {
+	f := sim.faults
+	claimed := make(map[int]bool, len(sim.remap))
+	for _, sp := range sim.remap {
+		claimed[sp] = true
+	}
+	alive := func(p int) bool { return p != dead && !f.ModuleDead(p) }
+	for _, reg := range sim.S.Tess[1] {
+		if !reg.Contains(sim.M, dead) {
+			continue
+		}
+		n := reg.Size()
+		at := reg.SnakeIndex(sim.M, dead)
+		for j := 1; j < n; j++ {
+			p := reg.ProcAtSnake(sim.M, (at+j)%n)
+			if alive(p) && !claimed[p] {
+				return p
+			}
+		}
+		break
+	}
+	for p := 0; p < sim.M.N; p++ {
+		if alive(p) && !claimed[p] {
+			return p
+		}
+	}
+	for p := 0; p < sim.M.N; p++ {
+		if alive(p) {
+			return p
+		}
+	}
+	return -1
+}
+
+// scrub runs one repair pass: remap every pending dead module to a
+// spare, then rebuild each quarantined copy whose variable still holds
+// a live target set by routing the freshest surviving value to the
+// copy's (possibly relocated) home. All traffic and the final local
+// writes are charged to the repair phase; copies whose repair packet
+// is lost en route stay quarantined for the next pass.
+func (sim *Simulator) scrub() {
+	if len(sim.pending) == 0 && len(sim.quar) == 0 {
+		return
+	}
+	sim.rstats.Scrubs++
+	sp := sim.ld.Begin("repair", trace.PhaseRepair)
+	defer sp.End()
+
+	for _, p := range sim.pending {
+		host := sim.resolveProc(p)
+		if !sim.faults.ModuleDead(host) {
+			continue // revived (or already remapped) before we got here
+		}
+		if spare := sim.spareFor(host); spare >= 0 {
+			if sim.remap == nil {
+				sim.remap = make(map[int]int)
+			}
+			sim.remap[host] = spare
+			sim.rstats.Remapped++
+		}
+	}
+	sim.pending = sim.pending[:0]
+	sim.repairQuarantined(sp)
+	sim.rstats.Residual = len(sim.quar)
+}
+
+// repairQuarantined rebuilds what the surviving copies can certify.
+func (sim *Simulator) repairQuarantined(sp *trace.Span) {
+	if len(sim.quar) == 0 {
+		return
+	}
+	s, m := sim.S, sim.M
+	red := int64(s.Redundant)
+	slots := make([]int64, 0, len(sim.quar))
+	for slot := range sim.quar {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+
+	items := make([][]rpkt, m.N)
+	var buf []hmos.Copy
+	mask := make([]bool, s.Redundant)
+	curVar, canRepair, srcProc := -1, false, -1
+	var bestVal Word
+	var bestTs int64
+	npkts := 0
+	for _, slot := range slots {
+		v := int(slot / red)
+		if v != curVar {
+			curVar = v
+			buf = s.Copies(v, buf[:0])
+			canRepair, srcProc, bestVal, bestTs = false, -1, 0, -1
+			for l, c := range buf {
+				host := sim.resolveProc(c.Proc)
+				mask[l] = !sim.faults.ModuleDead(host) && !sim.quar[c.Slot]
+				if !mask[l] {
+					continue
+				}
+				var cl cell
+				if sim.store[host] != nil {
+					cl = sim.store[host][c.Slot]
+				}
+				if cl.ts > bestTs {
+					bestTs, bestVal, srcProc = cl.ts, cl.val, host
+				}
+			}
+			canRepair = srcProc >= 0 && s.AccessedRoot(mask)
+		}
+		if !canRepair {
+			continue
+		}
+		dst := sim.resolveProc(buf[int(slot%red)].Proc)
+		if sim.faults.ModuleDead(dst) {
+			continue // no spare was available; stays quarantined
+		}
+		items[srcProc] = append(items[srcProc], rpkt{dest: dst, slot: slot, val: bestVal, ts: bestTs})
+		npkts++
+	}
+	if npkts == 0 {
+		return
+	}
+	sp.AddPackets(int64(npkts))
+	delivered, cycles, _ := route.GreedyRouteFaultInto(
+		make([][]rpkt, m.N), m, m.Full(), items, func(p rpkt) int { return p.dest })
+	maxWrites := 0
+	for p := range delivered {
+		if len(delivered[p]) == 0 {
+			continue
+		}
+		if sim.store[p] == nil {
+			sim.store[p] = make(map[int64]cell)
+		}
+		for _, pk := range delivered[p] {
+			sim.store[p][pk.slot] = cell{val: pk.val, ts: pk.ts}
+			delete(sim.quar, pk.slot)
+			sim.rstats.Repaired++
+		}
+		if len(delivered[p]) > maxWrites {
+			maxWrites = len(delivered[p])
+		}
+	}
+	charge := cycles + int64(maxWrites)
+	m.AddSteps(charge)
+	sim.rstats.Steps += charge
+}
+
+// RepairNow runs an unconditional full scrub against the live fault
+// map, regardless of the configured policy. The retry path in
+// internal/pram calls it after a rollback: the snapshot restored the
+// memory and quarantine state of the pre-step world, so the pending
+// list is re-derived from what is dead right now — including modules
+// whose mid-step deaths the rollback rewound — and their data loss is
+// replayed before the scrub rebuilds what the survivors certify.
+func (sim *Simulator) RepairNow() {
+	if sim.faults == nil {
+		return
+	}
+	sim.ensureHostIdx()
+	sim.pending = sim.pending[:0]
+	seen := make(map[int]bool)
+	for home := 0; home < sim.M.N; home++ {
+		if len(sim.hostIdx[home]) == 0 {
+			continue
+		}
+		host := sim.resolveProc(home)
+		if !sim.faults.ModuleDead(host) || seen[host] {
+			continue
+		}
+		seen[host] = true
+		sim.loseModuleData(host)
+	}
+	sim.scrub()
+}

@@ -18,6 +18,15 @@ type snapshot struct {
 	Params hmos.Params
 	Now    int64
 	Procs  []procImage
+
+	// Self-healing state (repair.go). Without it a restored image could
+	// serve a quarantined (lost) copy as fresh, or look for relocated
+	// copies at their original homes. The schedule replay cursor is
+	// deliberately absent: events already applied live on in the fault
+	// map, and a rollback must not replay them.
+	Remap   map[int]int
+	Quar    []int64
+	Pending []int
 }
 
 type procImage struct {
@@ -31,6 +40,16 @@ type procImage struct {
 // step clock) to w. Step accounting is not part of the image.
 func (sim *Simulator) Save(w io.Writer) error {
 	img := snapshot{Params: sim.S.Params, Now: sim.now}
+	if len(sim.remap) > 0 {
+		img.Remap = make(map[int]int, len(sim.remap))
+		for k, v := range sim.remap {
+			img.Remap[k] = v
+		}
+	}
+	for slot := range sim.quar {
+		img.Quar = append(img.Quar, slot)
+	}
+	img.Pending = append(img.Pending, sim.pending...)
 	for p, mem := range sim.store {
 		if len(mem) == 0 {
 			continue
@@ -73,5 +92,20 @@ func (sim *Simulator) Load(r io.Reader) error {
 	}
 	sim.store = store
 	sim.now = img.Now
+	sim.remap = nil
+	if len(img.Remap) > 0 {
+		sim.remap = make(map[int]int, len(img.Remap))
+		for k, v := range img.Remap {
+			sim.remap[k] = v
+		}
+	}
+	sim.quar = nil
+	if len(img.Quar) > 0 {
+		sim.quar = make(map[int64]bool, len(img.Quar))
+		for _, slot := range img.Quar {
+			sim.quar[slot] = true
+		}
+	}
+	sim.pending = append(sim.pending[:0], img.Pending...)
 	return nil
 }

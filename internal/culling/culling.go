@@ -296,6 +296,57 @@ func SelectWithoutCullingAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, 
 	return res
 }
 
+// SelectHardenedAvail selects, for each request, a minimal *level-0*
+// target set among the available copies: extensive quorums at every
+// tree level, so the returned copy set keeps certifying root access
+// even when isolated packets are lost on the round trip. This is the
+// recovery path's selection — the pram retry layer re-executes a
+// rolled-back step with it after an eager repair. Requests whose live
+// leaves hold no level-0 set fall back to a minimal plain set (the
+// same degraded fallback as RunAvail); requests with no plain set are
+// Unservable. Like SelectWithoutCulling the choice is purely local and
+// charges zero steps — the extra cost of a hardened step is its larger
+// packet count, which the routing phases charge naturally.
+func SelectHardenedAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, avail [][]bool) *Result {
+	qk := s.Redundant
+	res := &Result{
+		Selected: make([][]SelectedCopy, len(reqs)),
+		PageLoad: make([][]int, s.K+1),
+		Bound:    make([]int, s.K+1),
+	}
+	fullAvail := make([]bool, qk)
+	for i := range fullAvail {
+		fullAvail[i] = true
+	}
+	for i := 1; i <= s.K; i++ {
+		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+		res.Bound[i] = capAtLevel(4, qk, m.N, i)
+	}
+	for r, rq := range reqs {
+		av := fullAvail
+		if avail != nil && avail[r] != nil {
+			av = avail[r]
+		}
+		sel, ok := s.SelectTargetSet(0, av, nil)
+		if !ok {
+			if sel, ok = s.SelectTargetSet(s.K, av, nil); !ok {
+				res.Unservable = append(res.Unservable, r)
+				continue
+			}
+		}
+		copies := s.Copies(rq.Var, nil)
+		for leaf, on := range sel {
+			if on {
+				res.Selected[r] = append(res.Selected[r], SelectedCopy{Leaf: leaf, Proc: copies[leaf].Proc})
+				for i := 1; i <= s.K; i++ {
+					res.PageLoad[i][s.PageIndex(i, copies[leaf].Path)]++
+				}
+			}
+		}
+	}
+	return res
+}
+
 // capAtLevel returns ⌈c·q^k·n^{1−1/2^i}⌉.
 func capAtLevel(c, qk, n, i int) int {
 	exp := 1.0 - 1.0/math.Pow(2, float64(i))

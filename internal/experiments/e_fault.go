@@ -86,11 +86,13 @@ func RunFault(w io.Writer, cfg Config) error {
 			hosts = append(hosts, c.Proc)
 		}
 	}
+	// The builder map stays private and mutable; each simulator gets its
+	// own clone, since installation freezes the installed map.
 	survived := 0
 	f := fault.NewMap(cfgSim.Params.Side)
 	for i, h := range hosts {
 		f.KillModule(h)
-		killed, err := sim.New(append(opts, sim.Faults(f))...)
+		killed, err := sim.New(append(opts, sim.Faults(f.Clone()))...)
 		if err != nil {
 			return err
 		}

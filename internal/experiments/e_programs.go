@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"meshpram/internal/core"
 	"meshpram/internal/hmos"
 	"meshpram/internal/pram"
+	"meshpram/internal/sim"
 	"meshpram/internal/stats"
 	"meshpram/internal/trace"
 )
@@ -46,10 +46,16 @@ func RunE15(w io.Writer, cfg Config) error {
 		n := p.Side * p.Side
 		size := n / 2
 		for _, pg := range mkPrograms(size) {
-			mb, err := pram.NewMesh(p, core.Config{Workers: cfg.Workers}, nil)
+			scfg, err := sim.New(sim.Side(p.Side), sim.Q(p.Q), sim.D(p.D), sim.K(p.K),
+				sim.Workers(cfg.Workers))
 			if err != nil {
 				return err
 			}
+			b, err := pram.NewBackend(pram.BackendMesh, scfg)
+			if err != nil {
+				return err
+			}
+			mb := b.(*pram.Mesh)
 			steps, err := pram.Run(pg.prog, mb)
 			if err != nil {
 				return err

@@ -102,6 +102,7 @@ var All = []Experiment{
 	{"E17", "Sorting substitution ablation: shearsort vs RotateSort", RunE17},
 	{"E18", "Lineage: [PP93a] on the MPC (contention only) vs this paper on the mesh", RunE18},
 	{"FAULT", "Extension: graceful degradation — slowdown and unrecoverable variables vs static fault rate", RunFault},
+	{"RECOVER", "Extension: self-healing — churn rate vs repaired copies, residual loss and repair cost", RunRecover},
 }
 
 // RunAll executes every experiment, writing a section per experiment.

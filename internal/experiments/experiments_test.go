@@ -46,8 +46,8 @@ func TestIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 19 {
-		t.Fatalf("%d experiments, want 19 (DESIGN.md §4 plus FAULT)", len(All))
+	if len(All) != 20 {
+		t.Fatalf("%d experiments, want 20 (DESIGN.md §4 plus FAULT and RECOVER)", len(All))
 	}
 }
 

@@ -19,8 +19,13 @@
 // slow link carries one packet every `factor` cycles instead of every
 // cycle, which the cycle-accurate router charges faithfully.
 //
-// A Map is immutable once simulation starts (static faults); build it
-// directly, from a seeded random Model, or from a CLI spec via Parse.
+// A Map is immutable once simulation starts: installing it in a
+// machine freezes it, and the chainable Kill*/Slow* builders panic on a
+// frozen map (Clone yields a fresh mutable copy). Build one directly,
+// from a seeded random Model, or from a CLI spec via Parse. Dynamic
+// fault timelines are expressed separately as a Schedule of Events
+// (see schedule.go); the simulator applies them to a private clone via
+// Apply, so a user-held map is never mutated behind the user's back.
 // The zero-fault case is first-class: a nil *Map (or an empty one)
 // means a healthy machine, and every consumer keeps its fault-free
 // accounting bit-identical to the unwired code path.
@@ -55,6 +60,7 @@ type Map struct {
 	deadLink   map[linkKey]bool
 	slowLink   map[linkKey]int // delay factor ≥ 2
 	faults     int             // total marks, for Empty()
+	frozen     bool            // installed in a machine; builders refuse
 }
 
 // NewMap creates an all-healthy fault map for a side×side mesh.
@@ -82,10 +88,53 @@ func (f *Map) Side() int {
 // Empty reports whether the map marks no fault at all (nil-safe).
 func (f *Map) Empty() bool { return f == nil || f.faults == 0 }
 
+// Freeze marks the map as installed: the chainable Kill*/Slow*
+// builders panic afterwards, catching the build-then-share aliasing
+// hazard where a map handed to a simulator is mutated behind its back.
+// mesh.Machine.SetFaults freezes automatically; Apply (the simulator's
+// dynamic-fault path) still works. Nil-safe; returns the receiver.
+func (f *Map) Freeze() *Map {
+	if f != nil {
+		f.frozen = true
+	}
+	return f
+}
+
+// Frozen reports whether the map has been installed in a machine
+// (nil-safe).
+func (f *Map) Frozen() bool { return f != nil && f.frozen }
+
+// Clone returns a deep, unfrozen copy of the map (nil yields nil).
+// Clone is the copy-on-write escape hatch: to keep marking faults
+// after a map was handed to a simulator, clone it and mutate the copy.
+func (f *Map) Clone() *Map {
+	if f == nil {
+		return nil
+	}
+	n := NewMap(f.side)
+	copy(n.deadNode, f.deadNode)
+	copy(n.deadModule, f.deadModule)
+	for k, v := range f.deadLink {
+		n.deadLink[k] = v
+	}
+	for k, v := range f.slowLink {
+		n.slowLink[k] = v
+	}
+	n.faults = f.faults
+	return n
+}
+
+func (f *Map) mutable(op string) {
+	if f.frozen {
+		panic(fmt.Sprintf("fault: %s on a frozen map (already installed in a simulator); Clone() it first", op))
+	}
+}
+
 // adjacent reports whether p and q share a mesh edge, counting the
 // torus wrap edges so torus configurations can fault them too.
-func (f *Map) adjacent(p, q int) bool {
-	s := f.side
+func (f *Map) adjacent(p, q int) bool { return adjacentIn(f.side, p, q) }
+
+func adjacentIn(s, p, q int) bool {
 	pr, pc := p/s, p%s
 	qr, qc := q/s, q%s
 	dr, dc := pr-qr, pc-qc
@@ -119,52 +168,99 @@ func (f *Map) checkLink(p, q int) {
 }
 
 // KillNode marks processor p dead: it cannot originate, relay, or
-// store. Idempotent.
+// store. Idempotent; panics on a frozen map.
 func (f *Map) KillNode(p int) *Map {
+	f.mutable("KillNode")
 	f.checkNode("node", p)
-	if !f.deadNode[p] {
-		f.deadNode[p] = true
-		f.faults++
-	}
+	f.setNode(p, true)
 	return f
 }
 
 // KillModule marks processor p's memory module dead; the processor
-// itself keeps routing. Idempotent.
+// itself keeps routing. Idempotent; panics on a frozen map.
 func (f *Map) KillModule(p int) *Map {
+	f.mutable("KillModule")
 	f.checkNode("module", p)
-	if !f.deadModule[p] {
-		f.deadModule[p] = true
-		f.faults++
-	}
+	f.setModule(p, true)
 	return f
 }
 
 // KillLink marks the undirected edge p–q dead. Idempotent; panics if
-// p and q are not mesh (or wrap) neighbors.
+// p and q are not mesh (or wrap) neighbors, or on a frozen map.
 func (f *Map) KillLink(p, q int) *Map {
+	f.mutable("KillLink")
 	f.checkLink(p, q)
-	k := mkLink(p, q)
-	if !f.deadLink[k] {
-		f.deadLink[k] = true
-		f.faults++
-	}
+	f.setLink(p, q, true)
 	return f
 }
 
 // SlowLink marks the edge p–q slow: it carries one packet every
-// `factor` cycles (factor ≥ 2). A later call overwrites the factor.
+// `factor` cycles (factor ≥ 2). A later call overwrites the factor;
+// panics on a frozen map.
 func (f *Map) SlowLink(p, q, factor int) *Map {
+	f.mutable("SlowLink")
 	f.checkLink(p, q)
 	if factor < 2 {
 		panic(fmt.Sprintf("fault: slow factor %d must be ≥ 2", factor))
 	}
+	f.setSlow(p, q, factor)
+	return f
+}
+
+// setNode / setModule / setLink / setSlow flip one component's health,
+// keeping the fault counter exact. They are the shared lower half of
+// the chainable builders and of Apply (which bypasses the freeze: the
+// simulator owns a private clone when advancing a Schedule).
+func (f *Map) setNode(p int, dead bool) {
+	if f.deadNode[p] != dead {
+		f.deadNode[p] = dead
+		f.bump(dead)
+	}
+}
+
+func (f *Map) setModule(p int, dead bool) {
+	if f.deadModule[p] != dead {
+		f.deadModule[p] = dead
+		f.bump(dead)
+	}
+}
+
+func (f *Map) setLink(p, q int, dead bool) {
 	k := mkLink(p, q)
-	if _, ok := f.slowLink[k]; !ok {
-		f.faults++
+	if f.deadLink[k] != dead {
+		if dead {
+			f.deadLink[k] = true
+		} else {
+			delete(f.deadLink, k)
+		}
+		f.bump(dead)
+	}
+}
+
+// setSlow sets the slow factor of edge p–q; factor ≤ 1 restores full
+// speed.
+func (f *Map) setSlow(p, q, factor int) {
+	k := mkLink(p, q)
+	_, had := f.slowLink[k]
+	if factor <= 1 {
+		if had {
+			delete(f.slowLink, k)
+			f.bump(false)
+		}
+		return
+	}
+	if !had {
+		f.bump(true)
 	}
 	f.slowLink[k] = factor
-	return f
+}
+
+func (f *Map) bump(up bool) {
+	if up {
+		f.faults++
+	} else {
+		f.faults--
+	}
 }
 
 // NodeDead reports whether processor p is dead (nil-safe).

@@ -175,3 +175,37 @@ func TestStepReport(t *testing.T) {
 		t.Errorf("String() = %q", got)
 	}
 }
+
+func TestStepReportMergeEdgeCases(t *testing.T) {
+	// A nil receiver is a no-op, mirroring the nil-argument case: the
+	// retry loop merges the final attempt unconditionally and must not
+	// care whether either side exists.
+	var nilRep *StepReport
+	nilRep.Merge(&StepReport{Ops: 3, LostPackets: 1})
+	if nilRep != nil {
+		t.Fatal("nil receiver grew state")
+	}
+
+	// Disjoint unrecoverable sets concatenate without loss.
+	a := &StepReport{Ops: 1, Unrecoverable: []int{2}}
+	a.Merge(&StepReport{Ops: 1, Unrecoverable: []int{7, 9}})
+	if want := []int{2, 7, 9}; !reflect.DeepEqual(a.Unrecoverable, want) {
+		t.Errorf("disjoint merge = %v, want %v", a.Unrecoverable, want)
+	}
+
+	// Overlapping sets keep their duplicates: Merge is a plain
+	// accumulator and callers that count failures per round rely on
+	// one entry per failed op, not a deduplicated set.
+	b := &StepReport{Unrecoverable: []int{4}}
+	b.Merge(&StepReport{Unrecoverable: []int{4, 4}})
+	if want := []int{4, 4, 4}; !reflect.DeepEqual(b.Unrecoverable, want) {
+		t.Errorf("overlapping merge = %v, want %v", b.Unrecoverable, want)
+	}
+
+	// Merging an empty report changes nothing but Ops accounting.
+	c := &StepReport{Ops: 2, DeadOrigins: 1}
+	c.Merge(&StepReport{})
+	if want := (&StepReport{Ops: 2, DeadOrigins: 1}); !reflect.DeepEqual(c, want) {
+		t.Errorf("empty merge = %+v, want %+v", c, want)
+	}
+}

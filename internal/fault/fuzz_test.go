@@ -1,0 +1,87 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the static fault-spec parser: any input must either
+// return an error or a map that fits the mesh — never panic or hang.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"node:3",
+		"link:5-6;module:40",
+		"slow:7-8x4",
+		"rand:link=0.02,module=0.1,seed=7",
+		"node:3,17;link:0-1",
+		"node:-1",
+		"link:5-6x",
+		"rand:link=2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := Parse(9, spec)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			if strings.TrimSpace(spec) != "" && spec != ";" {
+				// nil is fine: an all-healthy spec stays on the fast path.
+			}
+			return
+		}
+		if m.Side() != 9 {
+			t.Fatalf("Parse(9, %q) built a map for side %d", spec, m.Side())
+		}
+		// The counters and queries must be internally consistent.
+		nodes, links, modules, slow := m.Counts()
+		if nodes < 0 || links < 0 || modules < 0 || slow < 0 {
+			t.Fatalf("Parse(9, %q): negative counts %d/%d/%d/%d", spec, nodes, links, modules, slow)
+		}
+	})
+}
+
+// FuzzParseSchedule drives the dynamic-schedule parser: any input must
+// either return an error or a schedule whose events all validate
+// against the mesh — never panic and never build an unbounded schedule
+// from a bounded spec.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"@0 module:40",
+		"@10 node:3,17;@25 revive-node:3",
+		"@5 link:5-6;@9 revive-link:5-6",
+		"@5 slow:7-8x4;@9 heal:7-8",
+		"churn:module=0.01,repair=15,until=100,seed=7",
+		"churn:node=0.1,link=0.1,until=64",
+		"@x module:1",
+		"@0 gremlin:1",
+		"churn:until=99999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(9, spec)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			return
+		}
+		if s.Side() != 9 {
+			t.Fatalf("ParseSchedule(9, %q) built side %d", spec, s.Side())
+		}
+		for _, ev := range s.Events() {
+			if verr := validateEvent(9, ev); verr != nil {
+				t.Fatalf("ParseSchedule(9, %q) emitted invalid event %v: %v", spec, ev, verr)
+			}
+		}
+		// Applying the whole schedule must not panic.
+		m := NewMap(9)
+		for _, ev := range s.Events() {
+			m.Apply(ev)
+		}
+	})
+}

@@ -82,17 +82,20 @@ func (m *Machine) AttachLedger(l *trace.Ledger) { m.ledger = l }
 // Ledger returns the attached cost ledger (nil when none).
 func (m *Machine) Ledger() *trace.Ledger { return m.ledger }
 
-// SetFaults installs a static fault map. Faults are static: install the
-// map before the first step and leave it untouched afterwards (the
-// routing and access layers assume component health never changes
-// mid-simulation). A nil map (the default) means a healthy machine and
-// keeps every fault-aware path on its fault-free fast path; panics if
-// the map was built for a different side.
+// SetFaults installs a fault map and freezes it: the chainable
+// Kill*/Slow* builders refuse afterwards, so a map cannot be mutated
+// behind the machine's back (fault.Map.Clone is the copy-on-write
+// escape hatch). Dynamic fault timelines go through fault.Schedule +
+// fault.Map.Apply, which the core simulator drives between steps — the
+// routing and access layers only assume component health is stable
+// *within* one routing phase. A nil map (the default) means a healthy
+// machine and keeps every fault-aware path on its fault-free fast
+// path; panics if the map was built for a different side.
 func (m *Machine) SetFaults(f *fault.Map) {
 	if f != nil && f.Side() != m.Side {
 		panic(fmt.Sprintf("mesh: fault map side %d does not match machine side %d", f.Side(), m.Side))
 	}
-	m.faults = f
+	m.faults = f.Freeze()
 }
 
 // Faults returns the installed fault map (nil when healthy).

@@ -15,6 +15,7 @@
 package pram
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 
@@ -135,6 +136,9 @@ func NewBackend(kind BackendKind, cfg sim.Config) (Backend, error) {
 		for _, s := range cfg.Sinks {
 			mb.Sim.Ledger().AddSink(s)
 		}
+		if cfg.Retry > 0 {
+			mb.SetRetryBudget(cfg.Retry)
+		}
 		return mb, nil
 	default:
 		return nil, fmt.Errorf("pram: unknown backend kind %q (want %q or %q)",
@@ -239,6 +243,17 @@ type Mesh struct {
 
 	lastRep  *fault.StepReport // degradation of the most recent ExecStep
 	totalRep *fault.StepReport // accumulated degradation across the run
+
+	retryBudget int // max re-executions per PRAM step (0 = no retry)
+	rec         RecoveryStats
+}
+
+// RecoveryStats counts what the checkpointed-retry layer did.
+type RecoveryStats struct {
+	Retries   int   // step re-executions performed
+	Backoff   int64 // mesh steps spent waiting between attempts
+	Recovered int   // steps that ended clean only thanks to a retry
+	Exhausted int   // steps still degraded after the full budget
 }
 
 // NewMesh wraps a core simulator as a PRAM backend.
@@ -264,14 +279,33 @@ func (mb *Mesh) Vars() int { return mb.Sim.Scheme().Vars() }
 // Steps implements Backend: cumulative charged mesh steps.
 func (mb *Mesh) Steps() int64 { return mb.m.Steps() }
 
-// ExecStep implements Backend. Concurrent requests are combined at the
-// origins (charged as one mesh sort + prefix pass when any combining or
-// fan-out happens), then executed as one core step — or two, when the
-// step both reads and writes the same variable.
+// SetRetryBudget configures checkpointed step retry: before each PRAM
+// step a memory snapshot is taken, and a step that ends with
+// unrecoverable variables is rolled back and re-executed up to n times.
+// Each attempt is preceded by an unconditional repair pass
+// (core.Simulator.RepairNow), an exponential backoff of 2^(attempt−1)
+// mesh steps charged to the repair phase (the window in which a real
+// system would wait out transient churn), and runs with hardened
+// (level-0) target sets that tolerate isolated packet loss on the
+// round trip. Only effective on fault-aware simulators.
+func (mb *Mesh) SetRetryBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	mb.retryBudget = n
+}
+
+// Recovery returns the accumulated checkpointed-retry counters.
+func (mb *Mesh) Recovery() RecoveryStats { return mb.rec }
+
+// RepairStats returns the core simulator's self-healing counters.
+func (mb *Mesh) RepairStats() core.RepairStats { return mb.Sim.RepairStats() }
+
+// ExecStep implements Backend: one attempt through execStep, wrapped in
+// the checkpointed-retry loop when a budget is configured. The
+// degradation report of the final attempt (only) is folded into the
+// run's total, so a recovered step counts as clean.
 func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
-	res := make([]Word, len(ops))
-	n := mb.m.N
-	mb.lastRep = nil
 	defer func() {
 		if mb.lastRep != nil {
 			if mb.totalRep == nil {
@@ -280,6 +314,56 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 			mb.totalRep.Merge(mb.lastRep)
 		}
 	}()
+
+	var snap *bytes.Buffer
+	if mb.retryBudget > 0 && mb.Sim.FaultAware() {
+		snap = &bytes.Buffer{}
+		if err := mb.Sim.Save(snap); err != nil {
+			return nil, fmt.Errorf("pram: checkpoint: %w", err)
+		}
+	}
+	res, err := mb.execStep(ops)
+	if err != nil || snap == nil {
+		return res, err
+	}
+	retried := false
+	for attempt := 1; attempt <= mb.retryBudget && mb.lastRep != nil && len(mb.lastRep.Unrecoverable) > 0; attempt++ {
+		retried = true
+		mb.rec.Retries++
+		if err := mb.Sim.Load(bytes.NewReader(snap.Bytes())); err != nil {
+			return nil, fmt.Errorf("pram: rollback: %w", err)
+		}
+		mb.Sim.RepairNow()
+		backoff := int64(1) << (attempt - 1)
+		sp := mb.Sim.Ledger().Begin("retry-backoff", trace.PhaseRepair)
+		mb.m.AddSteps(backoff)
+		sp.End()
+		mb.rec.Backoff += backoff
+		mb.Sim.SetHardened(true)
+		res, err = mb.execStep(ops)
+		mb.Sim.SetHardened(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if retried {
+		if mb.lastRep != nil && len(mb.lastRep.Unrecoverable) > 0 {
+			mb.rec.Exhausted++
+		} else {
+			mb.rec.Recovered++
+		}
+	}
+	return res, nil
+}
+
+// execStep runs one attempt: concurrent requests are combined at the
+// origins (charged as one mesh sort + prefix pass when any combining or
+// fan-out happens), then executed as one core step — or two, when the
+// step both reads and writes the same variable.
+func (mb *Mesh) execStep(ops []Op) ([]Word, error) {
+	res := make([]Word, len(ops))
+	n := mb.m.N
+	mb.lastRep = nil
 
 	readers := map[int][]int{} // addr -> pids
 	writers := map[int][]int{}

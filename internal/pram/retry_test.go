@@ -1,0 +1,147 @@
+package pram
+
+import (
+	"testing"
+
+	"meshpram/internal/core"
+	"meshpram/internal/fault"
+)
+
+// isolateModule kills every mesh link incident to p, so packets
+// addressed to (or staged through) p are lost while the module itself
+// stays alive and keeps its data.
+func isolateModule(f *fault.Map, side, p int) {
+	r, c := p/side, p%side
+	if r > 0 {
+		f.KillLink(p, p-side)
+	}
+	if r < side-1 {
+		f.KillLink(p, p+side)
+	}
+	if c > 0 {
+		f.KillLink(p, p-1)
+	}
+	if c < side-1 {
+		f.KillLink(p, p+1)
+	}
+}
+
+// TestRetryRecoversLostPackets drives the checkpointed-retry loop end
+// to end: module 9 (a host of variable 0) is link-isolated, so the
+// minimal target set loses a packet and the first attempt of each step
+// ends unrecoverable. The retry rolls the memory image back and
+// re-executes hardened — all copies, extensive quorums — which
+// tolerates the isolated copy, so both the write and the read recover.
+func TestRetryRecoversLostPackets(t *testing.T) {
+	f := fault.NewMap(meshParams.Side)
+	isolateModule(f, meshParams.Side, 9)
+	mb, err := NewMesh(meshParams, core.Config{Workers: 1, Faults: f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.SetRetryBudget(3)
+
+	if _, err := mb.ExecStep([]Op{{Kind: Write, Addr: 0, Value: 4242}}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := mb.LastReport(); len(rep.Unrecoverable) != 0 {
+		t.Fatalf("write did not recover: %v", rep)
+	}
+	res, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := mb.LastReport(); len(rep.Unrecoverable) != 0 {
+		t.Fatalf("read did not recover: %v", rep)
+	}
+	if res[0] != 4242 {
+		t.Fatalf("recovered read = %d, want 4242", res[0])
+	}
+
+	rec := mb.Recovery()
+	if rec.Retries == 0 || rec.Recovered != 2 || rec.Exhausted != 0 {
+		t.Fatalf("recovery stats = %+v, want both steps recovered via retries", rec)
+	}
+	if rec.Backoff <= 0 {
+		t.Fatalf("retries charged no backoff steps: %+v", rec)
+	}
+	// A recovered step counts as clean in the run total.
+	if tot := mb.TotalReport(); tot != nil && len(tot.Unrecoverable) != 0 {
+		t.Fatalf("recovered steps leaked into the total: %v", tot)
+	}
+}
+
+// TestRetryExhaustsOnUnhealableLoss pins the other outcome: when the
+// surviving copies genuinely no longer grant root access (five of
+// variable 0's host modules dead, no spare data to rebuild from),
+// rollback plus eager repair cannot help, the budget runs out, and the
+// step is reported unrecoverable with the attempts accounted.
+func TestRetryExhaustsOnUnhealableLoss(t *testing.T) {
+	probe := newMesh(t, nil)
+	hosts := moduleHostsOf(t, probe, 0)
+	f := fault.NewMap(meshParams.Side)
+	for _, h := range hosts[:5] {
+		f.KillModule(h)
+	}
+	mb, err := NewMesh(meshParams, core.Config{Workers: 1, Faults: f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.SetRetryBudget(2)
+
+	if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := mb.LastReport(); len(rep.Unrecoverable) != 1 || rep.Unrecoverable[0] != 0 {
+		t.Fatalf("unhealable read = %v, want unrecoverable [0]", rep)
+	}
+	rec := mb.Recovery()
+	if rec.Retries != 2 || rec.Exhausted != 1 || rec.Recovered != 0 {
+		t.Fatalf("recovery stats = %+v, want 2 retries, 1 exhausted", rec)
+	}
+	// Backoff doubles per attempt: 1 + 2.
+	if rec.Backoff != 3 {
+		t.Fatalf("backoff = %d steps, want 3", rec.Backoff)
+	}
+}
+
+// TestRetryBudgetZeroNeverSnapshots is the degenerate case: without a
+// budget the wrapper must not checkpoint, retry, or touch the
+// recovery counters even when a step fails.
+func TestRetryBudgetZeroNeverSnapshots(t *testing.T) {
+	probe := newMesh(t, nil)
+	hosts := moduleHostsOf(t, probe, 0)
+	f := fault.NewMap(meshParams.Side)
+	for _, h := range hosts[:5] {
+		f.KillModule(h)
+	}
+	mb, err := NewMesh(meshParams, core.Config{Workers: 1, Faults: f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if rep := mb.LastReport(); len(rep.Unrecoverable) != 1 {
+		t.Fatalf("expected the plain unrecoverable verdict, got %v", rep)
+	}
+	if rec := mb.Recovery(); rec != (RecoveryStats{}) {
+		t.Fatalf("recovery stats moved without a budget: %+v", rec)
+	}
+}
+
+// moduleHostsOf lists the distinct modules hosting copies of variable
+// v, in leaf order (the pram-layer twin of the core test helper).
+func moduleHostsOf(t testing.TB, mb *Mesh, v int) []int {
+	t.Helper()
+	s := mb.Sim.Scheme()
+	seen := map[int]bool{}
+	var hosts []int
+	for _, c := range s.Copies(v, nil) {
+		if !seen[c.Proc] {
+			seen[c.Proc] = true
+			hosts = append(hosts, c.Proc)
+		}
+	}
+	return hosts
+}

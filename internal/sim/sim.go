@@ -45,10 +45,15 @@ type Config struct {
 	// IdealMemory overrides the ideal backend's memory size in words
 	// (0 = the scheme's variable count M).
 	IdealMemory int
+	// Retry is the checkpointed-retry budget of the mesh backend: a
+	// PRAM step ending with unrecoverable variables is rolled back and
+	// re-executed up to Retry times (0 = off; see pram.Mesh.SetRetryBudget).
+	Retry int
 
-	scheme    *hmos.Scheme
-	faultSpec string
-	faultRand *fault.Model
+	scheme       *hmos.Scheme
+	faultSpec    string
+	faultRand    *fault.Model
+	scheduleSpec string
 }
 
 // Option configures one aspect of a simulation.
@@ -140,6 +145,40 @@ func FaultModel(m fault.Model) Option {
 	return func(c *Config) error { c.faultRand = &m; return nil }
 }
 
+// FaultSchedule installs a dynamic fault schedule: a deterministic,
+// time-indexed event list the simulator applies to its live fault map
+// as the step clock advances (see fault.Schedule and core.Config).
+func FaultSchedule(s *fault.Schedule) Option {
+	return func(c *Config) error { c.Core.Schedule = s; return nil }
+}
+
+// FaultScheduleSpec installs the dynamic fault schedule described by a
+// textual spec (see fault.ParseSchedule), resolved against the final
+// mesh side once all options are applied. The empty spec is a no-op,
+// so a CLI can pass its -fault-schedule flag value unconditionally.
+func FaultScheduleSpec(spec string) Option {
+	return func(c *Config) error { c.scheduleSpec = spec; return nil }
+}
+
+// Repair selects the self-healing policy of the mesh backend (default
+// core.RepairOff; see core.RepairPolicy).
+func Repair(p core.RepairPolicy) Option {
+	return func(c *Config) error { c.Core.Repair = p; return nil }
+}
+
+// Retry sets the checkpointed-retry budget of the mesh backend: how
+// many times a PRAM step ending with unrecoverable variables is rolled
+// back, repaired and re-executed (0 = off).
+func Retry(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("sim: retry budget %d must be ≥ 0", n)
+		}
+		c.Retry = n
+		return nil
+	}
+}
+
 // TraceSink registers a sink receiving every completed root span of
 // the simulator's cost ledger. May be given multiple times.
 func TraceSink(s trace.Sink) Option {
@@ -192,6 +231,13 @@ func New(opts ...Option) (Config, error) {
 			}
 		}
 	}
+	if c.Core.Schedule == nil && c.scheduleSpec != "" {
+		sch, err := fault.ParseSchedule(c.Params.Side, c.scheduleSpec)
+		if err != nil {
+			return Config{}, fmt.Errorf("sim: %w", err)
+		}
+		c.Core.Schedule = sch
+	}
 	s, err := hmos.New(c.Params)
 	if err != nil {
 		return Config{}, fmt.Errorf("sim: %w", err)
@@ -200,6 +246,10 @@ func New(opts ...Option) (Config, error) {
 	if f := c.Core.Faults; f != nil && f.Side() != c.Params.Side {
 		return Config{}, fmt.Errorf("sim: fault map side %d does not match mesh side %d",
 			f.Side(), c.Params.Side)
+	}
+	if sch := c.Core.Schedule; !sch.Empty() && sch.Side() != c.Params.Side {
+		return Config{}, fmt.Errorf("sim: fault schedule side %d does not match mesh side %d",
+			sch.Side(), c.Params.Side)
 	}
 	return c, nil
 }

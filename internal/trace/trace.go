@@ -46,9 +46,10 @@ const (
 	PhaseForward              // origin→copy routing cycles
 	PhaseAccess               // local memory accesses
 	PhaseReturn               // copy→origin routing cycles
+	PhaseRepair               // self-healing scrub traffic and retry backoff
 )
 
-var phaseNames = [...]string{"other", "culling", "sort", "rank", "forward", "access", "return"}
+var phaseNames = [...]string{"other", "culling", "sort", "rank", "forward", "access", "return", "repair"}
 
 // NumPhases is the number of distinct Phase values.
 const NumPhases = len(phaseNames)

@@ -139,6 +139,59 @@ func TestFaultFreeInvariance(t *testing.T) {
 	}
 }
 
+// TestScheduleStaticEquivalence pins the two degenerate cases of the
+// dynamic-fault layer. (a) An empty (even non-nil) schedule keeps the
+// fault-free fast path: the healthy fixtures must reproduce bit for
+// bit. (b) A schedule whose events all fire at step 0 is the same
+// world as installing those marks as a static map: results, stats,
+// reports and mesh steps must be indistinguishable over several steps.
+func TestScheduleStaticEquivalence(t *testing.T) {
+	runCoreFixture(t, "staged-emptyschedule", core.Config{Schedule: fault.NewSchedule(9)}, []coreStepFixture{
+		{packets: 324, culling: 1864, sort: 423, rank: 38, forward: 29, access: 16, ret: 29,
+			total: 2399, stageForward: []int64{0, 0, 38, 452}, delta: []int{12, 12, 9, 4},
+			pageLoadMax: []int{0, 12, 25}, pageLoadBound: []int{0, 324, 972},
+			resSum: 1322407, meshSteps: 2399},
+		{culling: 1864, sort: 420, rank: 38, forward: 30, access: 15, ret: 29,
+			total: 2396, stageForward: []int64{0, 0, 36, 452}, delta: []int{11, 11, 8, 4},
+			pageLoadMax: []int{0, 11, 23},
+			resSum: 2029765, meshSteps: 4795},
+	})
+
+	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
+	f, err := fault.Parse(9, "module:40;link:5-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := core.MustNew(p, core.Config{Faults: f})
+	sched := fault.NewSchedule(9).
+		At(0, fault.EvKillModule, 40).
+		At(0, fault.EvKillLink, 5, 6)
+	dynamic := core.MustNew(p, core.Config{Schedule: sched})
+
+	for step := 0; step < 3; step++ {
+		vars := workload.RandomDistinct(static.Scheme().Vars(), static.Mesh().N, 42+int64(step))
+		ops := vars.Mixed(1000)
+		r1, s1, err1 := static.StepChecked(ops)
+		r2, s2, err2 := dynamic.StepChecked(ops)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("step %d: errors %v / %v", step, err1, err2)
+		}
+		if !reflect.DeepEqual(r1, r2) {
+			t.Errorf("step %d: results diverge", step)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("step %d: stats diverge: static %+v, dynamic %+v", step, s1, s2)
+		}
+		if !reflect.DeepEqual(static.LastReport(), dynamic.LastReport()) {
+			t.Errorf("step %d: reports diverge: static %v, dynamic %v",
+				step, static.LastReport(), dynamic.LastReport())
+		}
+	}
+	if a, b := static.Mesh().Steps(), dynamic.Mesh().Steps(); a != b {
+		t.Errorf("mesh steps diverge: static %d, dynamic %d", a, b)
+	}
+}
+
 func TestInvarianceCoreDirect(t *testing.T) {
 	runCoreFixture(t, "direct", core.Config{DirectRouting: true}, []coreStepFixture{
 		{culling: 1864, sort: 396, rank: 0, forward: 19, access: 16, ret: 26,
