@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"meshpram/internal/fault"
+)
+
+// Scratch reproduction: kill A -> remap A->S; revive A; kill S ->
+// spareFor(S) may pick the revived A, creating a remap cycle that
+// hangs resolveProc.
+func TestScratchRemapCycle(t *testing.T) {
+	// Phase 1: discover which spare S the scrub picks for host A.
+	probe := faultSim(t, nil)
+	hosts := moduleHosts(probe, 0)
+	A := hosts[0]
+
+	sch1 := fault.NewSchedule(9).At(1, fault.EvKillModule, A)
+	s1 := schedSim(t, sch1, RepairEager)
+	if _, _, err := s1.StepChecked([]Op{{Origin: 0, Var: 0, IsWrite: true, Value: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s1.StepChecked([]Op{{Origin: 0, Var: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	S, ok := s1.remap[A]
+	if !ok {
+		t.Fatalf("no remap established for %d: %v", A, s1.remap)
+	}
+	t.Logf("A=%d remapped to S=%d", A, S)
+
+	// Phase 2: full timeline. kill A @1, revive A @2, kill S @3.
+	sch2 := fault.NewSchedule(9).
+		At(1, fault.EvKillModule, A).
+		At(2, fault.EvReviveModule, A).
+		At(3, fault.EvKillModule, S)
+	s2 := schedSim(t, sch2, RepairEager)
+	for step := 0; step < 5; step++ {
+		op := Op{Origin: 0, Var: 0}
+		if step == 0 {
+			op.IsWrite, op.Value = true, 7
+		}
+		if _, _, err := s2.StepChecked([]Op{op}); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("step %d done, remap=%v", step, s2.remap)
+	}
+}
