@@ -1,0 +1,99 @@
+// Command detlint runs the repository's determinism lint suite
+// (internal/detlint) over package patterns and reports findings with
+// file:line positions. It exits 0 when the tree is clean, 1 on
+// findings, 2 on load/usage errors — so `go run ./cmd/detlint ./...`
+// is a CI gate.
+//
+// Usage:
+//
+//	detlint [-checks list] [pattern ...]
+//
+// Patterns are directories relative to the working directory; a
+// trailing /... walks the subtree (default "./..."). Only non-test Go
+// files are analyzed. See DESIGN.md §9 for the check list and the
+// //detlint:ignore suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"meshpram/internal/detlint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Parse()
+
+	analyzers := detlint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		byName := map[string]*detlint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "detlint: unknown check %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	loader, err := detlint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	dirs, err := detlint.ExpandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
+	}
+	var pkgs []*detlint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := detlint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "detlint: ok (%d packages, %d checks)\n", len(pkgs), len(analyzers))
+	return 0
+}

@@ -1,0 +1,79 @@
+package meshpram_test
+
+import (
+	"reflect"
+	"testing"
+
+	"meshpram/internal/core"
+	"meshpram/internal/fault"
+	"meshpram/internal/hmos"
+	"meshpram/internal/workload"
+)
+
+// TestEngineEquivalenceUnderFaults is TestEngineEquivalence with a live
+// fault schedule and eager repair: a sequential engine and a 4-worker
+// one replay the identical churn timeline and must produce identical
+// verdicts — read results, degradation reports (dead origins, lost
+// packets, unrecoverable ops), repair counters — and identical
+// accounting (machine steps, ledger totals, phase totals). Worker-count
+// independence is what makes the fault path's determinism claims mean
+// something; under -race this also exercises the repair traffic for
+// data races.
+func TestEngineEquivalenceUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=729 machine is slow in -short mode")
+	}
+	p := hmos.Params{Side: 27, Q: 3, D: 4, K: 2}
+	churn := fault.Churn{ModuleRate: 0.004, Repair: 2, Horizon: 3, Seed: 11}
+	mk := func(workers int) *core.Simulator {
+		return core.MustNew(p, core.Config{
+			Workers:  workers,
+			Schedule: churn.Build(p.Side),
+			Repair:   core.RepairEager,
+		})
+	}
+	seq, par := mk(1), mk(4)
+	n := seq.Mesh().N
+	sawDeath := false
+	for step := 0; step < 3; step++ {
+		vars := workload.RandomDistinct(seq.Scheme().Vars(), n, 42+int64(step))
+		ops := vars.Mixed(1000)
+		resSeq, stSeq, errSeq := seq.StepChecked(ops)
+		resPar, stPar, errPar := par.StepChecked(ops)
+		if errSeq != nil || errPar != nil {
+			t.Fatalf("step%d: errors seq=%v par=%v", step, errSeq, errPar)
+		}
+		if !reflect.DeepEqual(resSeq, resPar) {
+			t.Fatalf("step%d: results differ between sequential and 4-worker engines", step)
+		}
+		if !reflect.DeepEqual(stSeq, stPar) {
+			t.Errorf("step%d: stats differ:\nseq %+v\npar %+v", step, stSeq, stPar)
+		}
+		if !reflect.DeepEqual(seq.LastReport(), par.LastReport()) {
+			t.Errorf("step%d: degradation verdicts differ:\nseq %+v\npar %+v",
+				step, seq.LastReport(), par.LastReport())
+		}
+		if a, b := seq.Mesh().Steps(), par.Mesh().Steps(); a != b {
+			t.Errorf("step%d: mesh steps %d (seq) != %d (par)", step, a, b)
+		}
+		rootSeq, rootPar := seq.Ledger().Last(), par.Ledger().Last()
+		if rootSeq == nil || rootPar == nil {
+			t.Fatalf("step%d: missing ledger tree", step)
+		}
+		if a, b := rootSeq.Total(), rootPar.Total(); a != b {
+			t.Errorf("step%d: ledger totals %d (seq) != %d (par)", step, a, b)
+		}
+		if a, b := rootSeq.PhaseTotals(), rootPar.PhaseTotals(); a != b {
+			t.Errorf("step%d: ledger phase totals %v (seq) != %v (par)", step, a, b)
+		}
+		if seq.RepairStats().ModuleDeaths > 0 {
+			sawDeath = true
+		}
+	}
+	if a, b := seq.RepairStats(), par.RepairStats(); a != b {
+		t.Errorf("repair stats differ:\nseq %+v\npar %+v", a, b)
+	}
+	if !sawDeath {
+		t.Fatal("timeline delivered no module deaths; the fixture is vacuous")
+	}
+}

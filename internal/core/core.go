@@ -196,12 +196,20 @@ func StatsFromSpan(step *trace.Span, K int) *StepStats {
 // Simulator is a PRAM shared memory of hmos-organized replicated
 // variables living on a mesh.
 type Simulator struct {
-	S   *hmos.Scheme
-	M   *mesh.Machine
+	// Fields outside the snapshot image carry a detlint annotation: the
+	// snapshotfields check requires every field to be either carried by
+	// Save+Load or explicitly excused here, so forgetting to snapshot a
+	// new mutable field fails the lint.
+	S *hmos.Scheme
+	//detlint:ignore snapshotfields static topology; Load validates against it, Save derives Params from S
+	M *mesh.Machine
+	//detlint:ignore snapshotfields immutable configuration, fixed at construction
 	cfg Config
 
-	ld    *trace.Ledger // the step ledger, attached to M
-	arena *pktArena     // recycled per-processor packet buffers
+	//detlint:ignore snapshotfields accounting spine, deliberately outside the memory image
+	ld *trace.Ledger // the step ledger, attached to M
+	//detlint:ignore snapshotfields recycled scratch buffers; content-free between steps
+	arena *pktArena // recycled per-processor packet buffers
 
 	// store[p] is processor p's local memory module: copy slot id →
 	// (value, timestamp). Lazily populated; absent means (0, 0).
@@ -209,22 +217,29 @@ type Simulator struct {
 
 	now int64 // PRAM step counter (timestamp source)
 
-	rep     *fault.StepReport // degradation collector of the running step
+	//detlint:ignore snapshotfields per-step degradation collector, reset every step
+	rep *fault.StepReport // degradation collector of the running step
+	//detlint:ignore snapshotfields diagnostic view of the last step only
 	lastRep *fault.StepReport // report of the most recent step (nil = healthy cfg)
 
 	// Dynamic faults and self-healing (repair.go). faults is the live
 	// map: cfg.Faults itself in the static case, a private clone of it
 	// when a schedule evolves the fault world. schedAt is the schedule
 	// replay cursor (monotone; deliberately not part of snapshots).
-	faults   *fault.Map
-	schedAt  int
+	//detlint:ignore snapshotfields live fault world; rollback must not resurrect pre-fault hardware
+	faults *fault.Map
+	//detlint:ignore snapshotfields monotone replay cursor; a rollback must not replay applied events
+	schedAt int
+	//detlint:ignore snapshotfields per-retry toggle owned by the caller around each step
 	hardened bool // select level-0 target sets (the retry path)
 
 	remap   map[int]int    // dead module → spare holding its relocated copies
 	quar    map[int64]bool // copy slots with lost data; excluded until rebuilt
 	pending []int          // dead modules awaiting a scrub
-	hostIdx [][]hostRef    // original home proc → copies stored there (lazy)
-	rstats  RepairStats
+	//detlint:ignore snapshotfields lazily derived from the static scheme
+	hostIdx [][]hostRef // original home proc → copies stored there (lazy)
+	//detlint:ignore snapshotfields accumulated diagnostics; counters intentionally survive rollbacks
+	rstats RepairStats
 }
 
 type cell struct {
@@ -379,17 +394,22 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	if len(ops) == 0 {
 		// Time still passes: due events apply (and an eager scrub runs
 		// under its own root span) even on an empty step.
-		sim.advanceSchedule()
+		if err := sim.advanceSchedule(); err != nil {
+			return nil, nil, err
+		}
 		return nil, StatsFromSpan(nil, K), nil
 	}
 
 	step := ld.Begin("step", trace.PhaseOther)
+	defer step.End()
 
 	// Dynamic faults: apply the events due before this step. Under the
 	// eager policy the scrub runs here, inside the step span, so its
 	// repair traffic lands in this step's cost tree — and the masks
 	// below already see the healed world.
-	sim.advanceSchedule()
+	if err := sim.advanceSchedule(); err != nil {
+		return nil, nil, err
+	}
 
 	// Availability masks: which copies of each op are on live modules.
 	// A copy relocated by repair counts as live at its spare; a
@@ -400,7 +420,7 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	var avail [][]bool
 	if f != nil {
 		avail = make([][]bool, len(ops))
-		buildAvail := func() bool {
+		buildAvail := func() (bool, error) {
 			degraded := false
 			sim.rep.DeadOrigins = 0
 			var cbuf []hmos.Copy
@@ -414,19 +434,31 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 				}
 				cbuf = s.Copies(op.Var, cbuf[:0])
 				for leaf, c := range cbuf {
-					mask[leaf] = !f.ModuleDead(sim.resolveProc(c.Proc)) && !sim.quar[c.Slot]
+					host, err := sim.resolveProc(c.Proc)
+					if err != nil {
+						return false, err
+					}
+					mask[leaf] = !f.ModuleDead(host) && !sim.quar[c.Slot]
 					if !mask[leaf] {
 						degraded = true
 					}
 				}
 			}
-			return degraded
+			return degraded, nil
 		}
 		// Lazy repair: the first step that touches a degraded variable
 		// triggers the scrub, then re-reads the healed world.
-		if buildAvail() && sim.cfg.Repair == RepairLazy && (len(sim.pending) > 0 || len(sim.quar) > 0) {
-			sim.scrub()
-			buildAvail()
+		degraded, err := buildAvail()
+		if err != nil {
+			return nil, nil, err
+		}
+		if degraded && sim.cfg.Repair == RepairLazy && (len(sim.pending) > 0 || len(sim.quar) > 0) {
+			if err := sim.scrub(); err != nil {
+				return nil, nil, err
+			}
+			if _, err := buildAvail(); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 
@@ -460,10 +492,18 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 	var seq int32
 	for i, op := range ops {
 		for _, c := range sel.Selected[i] {
+			dest, err := sim.resolveProc(c.Proc)
+			if err != nil {
+				for p := range pkts {
+					pkts[p] = pkts[p][:0] // honor the arena's truncated-entries contract
+				}
+				sim.arena.put(pkts)
+				return nil, nil, err
+			}
 			pkts[op.Origin] = append(pkts[op.Origin], pkt{
 				op:     int32(i),
 				seq:    seq,
-				dest:   sim.resolveProc(c.Proc),
+				dest:   dest,
 				origin: op.Origin,
 				slot:   int64(op.Var)*int64(s.Redundant) + int64(c.Leaf),
 				isW:    op.IsWrite,
@@ -588,7 +628,6 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 		}
 	}
 
-	step.End()
 	return results, StatsFromSpan(step, K), nil
 }
 

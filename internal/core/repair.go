@@ -81,6 +81,7 @@ type RepairStats struct {
 	Repaired     int   // copies rebuilt from a surviving target set
 	Residual     int   // copies still quarantined after the latest scrub
 	Remapped     int   // dead modules whose copies were relocated to a spare
+	Lost         int   // repair packets lost en route (copies left for the next pass)
 	Steps        int64 // mesh steps charged to the repair phase by scrubs
 }
 
@@ -115,49 +116,55 @@ func (sim *Simulator) SetHardened(on bool) { sim.hardened = on }
 // advanceSchedule applies the schedule events due before the current
 // step (an event at step t takes effect after t completed steps) to
 // the live fault map, reacting to module deaths with the data-loss
-// fiction. Under the eager policy it then scrubs at once.
-func (sim *Simulator) advanceSchedule() {
+// fiction. Under the eager policy it then scrubs at once. An error
+// means the remap table violated its acyclicity invariant — the
+// simulation state is no longer trustworthy and the step must fail.
+func (sim *Simulator) advanceSchedule() error {
 	sch := sim.cfg.Schedule
 	if sch.Empty() {
-		return
+		return nil
 	}
 	evs, cur := sch.EventsBefore(sim.schedAt, sim.now)
 	sim.schedAt = cur
 	for _, ev := range evs {
-		sim.applyEvent(ev)
+		if err := sim.applyEvent(ev); err != nil {
+			return err
+		}
 	}
 	if sim.cfg.Repair == RepairEager && len(sim.pending) > 0 {
-		sim.scrub()
+		return sim.scrub()
 	}
+	return nil
 }
 
 // applyEvent applies one schedule event, watching for the
 // module-availability transition (a node death takes its memory module
 // down with it) so the stored data is lost exactly once per death.
-func (sim *Simulator) applyEvent(ev fault.Event) {
+func (sim *Simulator) applyEvent(ev fault.Event) error {
 	f := sim.faults
 	switch ev.Kind {
 	case fault.EvKillNode, fault.EvKillModule:
 		wasDead := f.ModuleDead(ev.P)
 		f.Apply(ev)
 		if !wasDead && f.ModuleDead(ev.P) {
-			sim.moduleDied(ev.P)
+			return sim.moduleDied(ev.P)
 		}
 	default:
 		f.Apply(ev)
 	}
+	return nil
 }
 
 // moduleDied records a fresh module death and loses its data.
-func (sim *Simulator) moduleDied(p int) {
+func (sim *Simulator) moduleDied(p int) error {
 	sim.rstats.ModuleDeaths++
-	sim.loseModuleData(p)
+	return sim.loseModuleData(p)
 }
 
 // loseModuleData implements the data-loss fiction for module p: delete
 // the store, quarantine every copy whose current home resolves to p,
 // and queue p for the next scrub.
-func (sim *Simulator) loseModuleData(p int) {
+func (sim *Simulator) loseModuleData(p int) error {
 	sim.store[p] = nil
 	sim.ensureHostIdx()
 	if sim.quar == nil {
@@ -165,7 +172,14 @@ func (sim *Simulator) loseModuleData(p int) {
 	}
 	red := int64(sim.S.Redundant)
 	for home := 0; home < sim.M.N; home++ {
-		if len(sim.hostIdx[home]) == 0 || sim.resolveProc(home) != p {
+		if len(sim.hostIdx[home]) == 0 {
+			continue
+		}
+		host, err := sim.resolveProc(home)
+		if err != nil {
+			return err
+		}
+		if host != p {
 			continue
 		}
 		for _, hr := range sim.hostIdx[home] {
@@ -173,6 +187,7 @@ func (sim *Simulator) loseModuleData(p int) {
 		}
 	}
 	sim.pending = append(sim.pending, p)
+	return nil
 }
 
 // ensureHostIdx builds (once) the inverted index from home processor to
@@ -193,16 +208,41 @@ func (sim *Simulator) ensureHostIdx() {
 }
 
 // resolveProc follows the remap chain from a copy's original home to
-// the module currently hosting it. Chains stay acyclic: a spare is
-// alive when claimed, and if it later dies it gets its own entry.
-func (sim *Simulator) resolveProc(p int) int {
-	for {
+// the module currently hosting it. spareFor keeps chains acyclic, so
+// the walk is bounded by the table size; exceeding that bound means the
+// invariant broke (a cycle) and the error aborts the step instead of
+// looping forever.
+func (sim *Simulator) resolveProc(p int) (int, error) {
+	start := p
+	for hops := 0; ; hops++ {
 		q, ok := sim.remap[p]
 		if !ok {
-			return p
+			return p, nil
+		}
+		if hops >= len(sim.remap) {
+			return p, fmt.Errorf("core: remap cycle detected resolving module %d (table %v)", start, sim.remap)
 		}
 		p = q
 	}
+}
+
+// remapReaches reports whether following the remap chain from `from`
+// arrives at `target`. spareFor uses it to reject spare candidates that
+// would close a cycle through the table (the chain walk is hop-bounded
+// like resolveProc, so a pre-existing cycle cannot hang it).
+func (sim *Simulator) remapReaches(from, target int) bool {
+	p := from
+	for hops := 0; hops <= len(sim.remap); hops++ {
+		if p == target {
+			return true
+		}
+		q, ok := sim.remap[p]
+		if !ok {
+			return false
+		}
+		p = q
+	}
+	return true // walk exceeded the table: already cyclic, reject
 }
 
 // spareFor picks the replacement module for the dead processor p:
@@ -210,14 +250,25 @@ func (sim *Simulator) resolveProc(p int) int {
 // level-1 submesh (locality keeps relocated copies near their
 // tessellation page), falling back to a global scan. Modules already
 // claimed as spares are preferred-against but accepted when nothing
-// else is alive. Returns -1 when no live module remains.
+// else is alive. A candidate whose remap chain reaches the dead module
+// is never accepted — installing it would close a cycle (the
+// kill→revive→kill-spare pattern: the revived original looks alive and
+// unclaimed, but still chains to the module being replaced). Returns -1
+// when no live module remains.
 func (sim *Simulator) spareFor(dead int) int {
 	f := sim.faults
 	claimed := make(map[int]bool, len(sim.remap))
-	for _, sp := range sim.remap {
-		claimed[sp] = true
+	keys := make([]int, 0, len(sim.remap))
+	for k := range sim.remap {
+		keys = append(keys, k)
 	}
-	alive := func(p int) bool { return p != dead && !f.ModuleDead(p) }
+	sort.Ints(keys)
+	for _, k := range keys {
+		claimed[sim.remap[k]] = true
+	}
+	ok := func(p int) bool {
+		return p != dead && !f.ModuleDead(p) && !sim.remapReaches(p, dead)
+	}
 	for _, reg := range sim.S.Tess[1] {
 		if !reg.Contains(sim.M, dead) {
 			continue
@@ -226,19 +277,19 @@ func (sim *Simulator) spareFor(dead int) int {
 		at := reg.SnakeIndex(sim.M, dead)
 		for j := 1; j < n; j++ {
 			p := reg.ProcAtSnake(sim.M, (at+j)%n)
-			if alive(p) && !claimed[p] {
+			if ok(p) && !claimed[p] {
 				return p
 			}
 		}
 		break
 	}
 	for p := 0; p < sim.M.N; p++ {
-		if alive(p) && !claimed[p] {
+		if ok(p) && !claimed[p] {
 			return p
 		}
 	}
 	for p := 0; p < sim.M.N; p++ {
-		if alive(p) {
+		if ok(p) {
 			return p
 		}
 	}
@@ -251,16 +302,19 @@ func (sim *Simulator) spareFor(dead int) int {
 // copy's (possibly relocated) home. All traffic and the final local
 // writes are charged to the repair phase; copies whose repair packet
 // is lost en route stay quarantined for the next pass.
-func (sim *Simulator) scrub() {
+func (sim *Simulator) scrub() error {
 	if len(sim.pending) == 0 && len(sim.quar) == 0 {
-		return
+		return nil
 	}
 	sim.rstats.Scrubs++
 	sp := sim.ld.Begin("repair", trace.PhaseRepair)
 	defer sp.End()
 
 	for _, p := range sim.pending {
-		host := sim.resolveProc(p)
+		host, err := sim.resolveProc(p)
+		if err != nil {
+			return err
+		}
 		if !sim.faults.ModuleDead(host) {
 			continue // revived (or already remapped) before we got here
 		}
@@ -273,14 +327,17 @@ func (sim *Simulator) scrub() {
 		}
 	}
 	sim.pending = sim.pending[:0]
-	sim.repairQuarantined(sp)
+	if err := sim.repairQuarantined(sp); err != nil {
+		return err
+	}
 	sim.rstats.Residual = len(sim.quar)
+	return nil
 }
 
 // repairQuarantined rebuilds what the surviving copies can certify.
-func (sim *Simulator) repairQuarantined(sp *trace.Span) {
+func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 	if len(sim.quar) == 0 {
-		return
+		return nil
 	}
 	s, m := sim.S, sim.M
 	red := int64(s.Redundant)
@@ -304,7 +361,10 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) {
 			buf = s.Copies(v, buf[:0])
 			canRepair, srcProc, bestVal, bestTs = false, -1, 0, -1
 			for l, c := range buf {
-				host := sim.resolveProc(c.Proc)
+				host, err := sim.resolveProc(c.Proc)
+				if err != nil {
+					return err
+				}
 				mask[l] = !sim.faults.ModuleDead(host) && !sim.quar[c.Slot]
 				if !mask[l] {
 					continue
@@ -322,7 +382,10 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) {
 		if !canRepair {
 			continue
 		}
-		dst := sim.resolveProc(buf[int(slot%red)].Proc)
+		dst, err := sim.resolveProc(buf[int(slot%red)].Proc)
+		if err != nil {
+			return err
+		}
 		if sim.faults.ModuleDead(dst) {
 			continue // no spare was available; stays quarantined
 		}
@@ -330,11 +393,12 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) {
 		npkts++
 	}
 	if npkts == 0 {
-		return
+		return nil
 	}
 	sp.AddPackets(int64(npkts))
-	delivered, cycles, _ := route.GreedyRouteFaultInto(
+	delivered, cycles, lost := route.GreedyRouteFaultInto(
 		make([][]rpkt, m.N), m, m.Full(), items, func(p rpkt) int { return p.dest })
+	sim.rstats.Lost += lost
 	maxWrites := 0
 	for p := range delivered {
 		if len(delivered[p]) == 0 {
@@ -355,6 +419,7 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) {
 	charge := cycles + int64(maxWrites)
 	m.AddSteps(charge)
 	sim.rstats.Steps += charge
+	return nil
 }
 
 // RepairNow runs an unconditional full scrub against the live fault
@@ -363,10 +428,11 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) {
 // memory and quarantine state of the pre-step world, so the pending
 // list is re-derived from what is dead right now — including modules
 // whose mid-step deaths the rollback rewound — and their data loss is
-// replayed before the scrub rebuilds what the survivors certify.
-func (sim *Simulator) RepairNow() {
+// replayed before the scrub rebuilds what the survivors certify. An
+// error reports a broken remap invariant (see resolveProc).
+func (sim *Simulator) RepairNow() error {
 	if sim.faults == nil {
-		return
+		return nil
 	}
 	sim.ensureHostIdx()
 	sim.pending = sim.pending[:0]
@@ -375,12 +441,17 @@ func (sim *Simulator) RepairNow() {
 		if len(sim.hostIdx[home]) == 0 {
 			continue
 		}
-		host := sim.resolveProc(home)
+		host, err := sim.resolveProc(home)
+		if err != nil {
+			return err
+		}
 		if !sim.faults.ModuleDead(host) || seen[host] {
 			continue
 		}
 		seen[host] = true
-		sim.loseModuleData(host)
+		if err := sim.loseModuleData(host); err != nil {
+			return err
+		}
 	}
-	sim.scrub()
+	return sim.scrub()
 }

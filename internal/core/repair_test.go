@@ -246,7 +246,9 @@ func TestRepairNowRederivesPendingWork(t *testing.T) {
 	if rs.ModuleDeaths != 2 || rs.Scrubs != 0 {
 		t.Fatalf("setup: %+v", rs)
 	}
-	s.RepairNow()
+	if err := s.RepairNow(); err != nil {
+		t.Fatal(err)
+	}
 	rs = s.RepairStats()
 	if rs.Scrubs != 1 || rs.Repaired == 0 {
 		t.Fatalf("RepairNow did not heal: %+v", rs)

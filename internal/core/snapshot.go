@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"meshpram/internal/hmos"
 )
@@ -12,6 +13,13 @@ import (
 // cells of every processor, with timestamps) so long experiments can
 // checkpoint and resume, and so memory images can be moved between a
 // sequential and a parallel-engine simulator.
+//
+// The encoding is deterministic: identical simulator state yields
+// byte-identical images. That is why the remap table travels as two
+// sorted parallel slices (gob encodes Go maps in randomized iteration
+// order) and why the quarantine set and every module's slot list are
+// sorted before encoding. The multi-run bit-identity fixtures diff raw
+// snapshot bytes, so any nondeterminism here is a test failure.
 
 // snapshot is the gob wire format.
 type snapshot struct {
@@ -23,10 +31,12 @@ type snapshot struct {
 	// serve a quarantined (lost) copy as fresh, or look for relocated
 	// copies at their original homes. The schedule replay cursor is
 	// deliberately absent: events already applied live on in the fault
-	// map, and a rollback must not replay them.
-	Remap   map[int]int
-	Quar    []int64
-	Pending []int
+	// map, and a rollback must not replay them. RemapFrom/RemapTo are
+	// the remap table as parallel slices sorted by RemapFrom.
+	RemapFrom []int
+	RemapTo   []int
+	Quar      []int64
+	Pending   []int
 }
 
 type procImage struct {
@@ -37,26 +47,37 @@ type procImage struct {
 }
 
 // Save writes the simulator's memory state (copies, timestamps, and the
-// step clock) to w. Step accounting is not part of the image.
+// step clock) to w. Step accounting is not part of the image. Identical
+// state encodes to identical bytes (see the package comment above).
 func (sim *Simulator) Save(w io.Writer) error {
 	img := snapshot{Params: sim.S.Params, Now: sim.now}
 	if len(sim.remap) > 0 {
-		img.Remap = make(map[int]int, len(sim.remap))
-		for k, v := range sim.remap {
-			img.Remap[k] = v
+		img.RemapFrom = make([]int, 0, len(sim.remap))
+		for k := range sim.remap {
+			img.RemapFrom = append(img.RemapFrom, k)
+		}
+		sort.Ints(img.RemapFrom)
+		img.RemapTo = make([]int, len(img.RemapFrom))
+		for i, k := range img.RemapFrom {
+			img.RemapTo[i] = sim.remap[k]
 		}
 	}
 	for slot := range sim.quar {
 		img.Quar = append(img.Quar, slot)
 	}
+	sort.Slice(img.Quar, func(i, j int) bool { return img.Quar[i] < img.Quar[j] })
 	img.Pending = append(img.Pending, sim.pending...)
 	for p, mem := range sim.store {
 		if len(mem) == 0 {
 			continue
 		}
-		pi := procImage{Proc: p}
-		for slot, c := range mem {
+		pi := procImage{Proc: p, Slots: make([]int64, 0, len(mem))}
+		for slot := range mem {
 			pi.Slots = append(pi.Slots, slot)
+		}
+		sort.Slice(pi.Slots, func(i, j int) bool { return pi.Slots[i] < pi.Slots[j] })
+		for _, slot := range pi.Slots {
+			c := mem[slot]
 			pi.Vals = append(pi.Vals, c.val)
 			pi.TSs = append(pi.TSs, c.ts)
 		}
@@ -76,6 +97,9 @@ func (sim *Simulator) Load(r io.Reader) error {
 	if img.Params != sim.S.Params {
 		return fmt.Errorf("core: snapshot params %+v do not match simulator %+v", img.Params, sim.S.Params)
 	}
+	if len(img.RemapFrom) != len(img.RemapTo) {
+		return fmt.Errorf("core: snapshot remap table is ragged (%d from, %d to)", len(img.RemapFrom), len(img.RemapTo))
+	}
 	store := make([]map[int64]cell, sim.M.N)
 	for _, pi := range img.Procs {
 		if pi.Proc < 0 || pi.Proc >= sim.M.N {
@@ -93,10 +117,10 @@ func (sim *Simulator) Load(r io.Reader) error {
 	sim.store = store
 	sim.now = img.Now
 	sim.remap = nil
-	if len(img.Remap) > 0 {
-		sim.remap = make(map[int]int, len(img.Remap))
-		for k, v := range img.Remap {
-			sim.remap[k] = v
+	if len(img.RemapFrom) > 0 {
+		sim.remap = make(map[int]int, len(img.RemapFrom))
+		for i, from := range img.RemapFrom {
+			sim.remap[from] = img.RemapTo[i]
 		}
 	}
 	sim.quar = nil

@@ -1,0 +1,92 @@
+package detlint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// wantRe marks an expected finding: a comment ending in "want <check>"
+// expects exactly one finding of that check on its line. The marker is
+// anchored at the end so prose mentioning the syntax never counts.
+var wantRe = regexp.MustCompile(`// want ([a-z]+)$`)
+
+// TestAnalyzersOnFixtures loads every package under testdata/src with a
+// deterministic-package import path ("fixture/core", so the det-only
+// analyzers apply), runs the full suite, and diffs the findings against
+// the fixtures' want markers. Each fixture carries both triggering code
+// and a //detlint:ignore-suppressed variant of the same pattern, so
+// this pins the analyzers AND the suppression machinery.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join("testdata", "src")
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ran++
+		t.Run(name, func(t *testing.T) {
+			pkg, err := loader.LoadAs(filepath.Join(root, name), "fixture/core")
+			if err != nil {
+				t.Fatalf("fixture does not typecheck: %v", err)
+			}
+			if pkg == nil {
+				t.Fatal("fixture directory holds no Go files")
+			}
+
+			got := map[string]int{}
+			for _, f := range Run([]*Package{pkg}, All()) {
+				got[fmt.Sprintf("%s:%d %s", filepath.Base(f.Pos.Filename), f.Pos.Line, f.Check)]++
+			}
+			want := map[string]int{}
+			for _, file := range pkg.Files {
+				for _, cg := range file.Comments {
+					for _, c := range cg.List {
+						m := wantRe.FindStringSubmatch(c.Text)
+						if m == nil {
+							continue
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						want[fmt.Sprintf("%s:%d %s", filepath.Base(pos.Filename), pos.Line, m[1])]++
+					}
+				}
+			}
+
+			keys := map[string]bool{}
+			for k := range got {
+				keys[k] = true
+			}
+			for k := range want {
+				keys[k] = true
+			}
+			ordered := make([]string, 0, len(keys))
+			for k := range keys {
+				ordered = append(ordered, k)
+			}
+			sort.Strings(ordered)
+			for _, k := range ordered {
+				if got[k] != want[k] {
+					t.Errorf("%s: got %d finding(s), want %d", k, got[k], want[k])
+				}
+			}
+			if len(want) == 0 {
+				t.Error("fixture has no want markers; it tests nothing")
+			}
+		})
+	}
+	if ran < len(All()) {
+		t.Fatalf("only %d fixture packages for %d analyzers", ran, len(All()))
+	}
+}

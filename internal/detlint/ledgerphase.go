@@ -1,0 +1,341 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LedgerPhase verifies that every ledger span opened with Begin or
+// BeginPar is closed on all return paths of the function that opened
+// it. An unclosed span corrupts the cost tree: the ledger's active
+// chain never pops, every later charge lands under the leaked span, and
+// the root tree the accounting fixtures pin never completes.
+//
+// Accepted closing shapes:
+//
+//   - `defer sp.End()` (or a deferred func literal calling sp.End())
+//     anywhere in the opening function;
+//   - a plain `sp.End()` later in the same statement list, with no way
+//     to leave the function (return, goto, labeled branch, or a
+//     break/continue escaping the list) between the two.
+//
+// Calling Begin in statement position (discarding the span) is always a
+// finding. Shapes the analyzer cannot prove — e.g. an End inside a
+// conditional — need a //detlint:ignore ledgerphase annotation.
+var LedgerPhase = &Analyzer{
+	Name: "ledgerphase",
+	Doc:  "every ledger span Begin must have a matching End on all return paths",
+	Run:  runLedgerPhase,
+}
+
+func runLedgerPhase(p *Pass) {
+	for _, file := range p.Files {
+		// Each function literal is its own scope: its returns do not exit
+		// the enclosing function, and its spans must close within it.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkSpanScope(p, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkSpanScope(p, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpanScope analyzes one function body (excluding nested function
+// literals, which are visited separately).
+func checkSpanScope(p *Pass, body *ast.BlockStmt) {
+	deferred := map[types.Object]bool{}
+	inspectOwn(body, func(n ast.Node) {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return
+		}
+		if obj := endCallReceiver(p, ds.Call); obj != nil {
+			deferred[obj] = true
+		}
+		// defer func() { …; sp.End() }() closes over the span; the End
+		// still runs at function exit.
+		if fl, ok := ds.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if obj := endCallReceiver(p, call); obj != nil {
+						deferred[obj] = true
+					}
+				}
+				return true
+			})
+		}
+	})
+
+	forEachOwnStmtList(body, func(list []ast.Stmt) {
+		for i, st := range list {
+			if ls, ok := st.(*ast.LabeledStmt); ok {
+				st = ls.Stmt
+			}
+			// Begin in statement position: the span is unreachable.
+			if es, ok := st.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && isBeginCall(p, call) {
+					p.Reportf(call.Pos(), "ledger span discarded: capture the result of %s and End it", beginName(call))
+				}
+				continue
+			}
+			obj, call := spanAssign(p, st)
+			if obj == nil {
+				continue
+			}
+			if deferred[obj] {
+				continue
+			}
+			if !closedInList(p, list[i+1:], obj) {
+				p.Reportf(call.Pos(), "ledger span %s opened here may not be closed on every return path; add `defer %s.End()` or End it before leaving the list", beginName(call), obj.Name())
+			}
+		}
+	})
+}
+
+// spanAssign matches `sp := l.Begin(…)` / `sp = l.Begin(…)` and returns
+// the span variable's object and the Begin call.
+func spanAssign(p *Pass, st ast.Stmt) (types.Object, *ast.CallExpr) {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBeginCall(p, call) {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, nil
+	}
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	return obj, call
+}
+
+// closedInList scans the statements after a span assignment for the
+// matching End, rejecting any path that can leave the function first.
+func closedInList(p *Pass, rest []ast.Stmt, obj types.Object) bool {
+	for _, st := range rest {
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if recv := endCallReceiver(p, call); recv == obj {
+					return true
+				}
+			}
+		}
+		if ds, ok := st.(*ast.DeferStmt); ok {
+			if endCallReceiver(p, ds.Call) == obj {
+				return true
+			}
+		}
+		if reassignsObj(p, st, obj) {
+			return false // span handle overwritten before End
+		}
+		if canEscape(st, false, false) {
+			return false
+		}
+	}
+	return false
+}
+
+func reassignsObj(p *Pass, st ast.Stmt, obj types.Object) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && (p.Info.Uses[id] == obj || p.Info.Defs[id] == obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// canEscape reports whether executing st can leave the enclosing
+// statement list other than by falling through: a return, a goto or
+// labeled branch, or an unlabeled break/continue not absorbed by a
+// loop/switch contained in st. Function literals are opaque — their
+// returns stay inside them.
+func canEscape(st ast.Stmt, inLoop, inSwitch bool) bool {
+	switch s := st.(type) {
+	case nil:
+		return false
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO || s.Label != nil {
+			return true
+		}
+		if s.Tok == token.BREAK {
+			return !inLoop && !inSwitch
+		}
+		if s.Tok == token.CONTINUE {
+			return !inLoop
+		}
+		return false // fallthrough stays within the switch
+	case *ast.LabeledStmt:
+		return canEscape(s.Stmt, inLoop, inSwitch)
+	case *ast.BlockStmt:
+		for _, c := range s.List {
+			if canEscape(c, inLoop, inSwitch) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return canEscape(s.Body, inLoop, inSwitch) || canEscape(s.Else, inLoop, inSwitch)
+	case *ast.ForStmt:
+		return canEscape(s.Body, true, false)
+	case *ast.RangeStmt:
+		return canEscape(s.Body, true, false)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					if canEscape(b, inLoop, true) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, b := range cc.Body {
+					if canEscape(b, inLoop, true) {
+						return true
+					}
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				for _, b := range cc.Body {
+					if canEscape(b, inLoop, true) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// beginName renders a Begin call for messages, preferring the span's
+// string-literal name ("Begin(\"step\")").
+func beginName(call *ast.CallExpr) string {
+	method := "Begin"
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		method = sel.Sel.Name
+	}
+	if len(call.Args) > 0 {
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+			return method + "(" + lit.Value + ")"
+		}
+	}
+	return method
+}
+
+// isBeginCall reports whether call is trace.Ledger.Begin or BeginPar.
+func isBeginCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || (fn.Name() != "Begin" && fn.Name() != "BeginPar") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return namedTypeIs(sig.Recv().Type(), "Ledger", "trace")
+}
+
+// endCallReceiver returns the object of x when call is `x.End()` on a
+// trace.Span, nil otherwise.
+func endCallReceiver(p *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !namedTypeIs(sig.Recv().Type(), "Span", "trace") {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// namedTypeIs reports whether t (possibly a pointer) is the named type
+// name from a package whose path's last element is pkgBase.
+func namedTypeIs(t types.Type, name, pkgBase string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:] == pkgBase
+		}
+	}
+	return path == pkgBase
+}
+
+// inspectOwn visits n's statements without descending into nested
+// function literals.
+func inspectOwn(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		if m != nil {
+			fn(m)
+		}
+		return true
+	})
+}
+
+// forEachOwnStmtList is forEachStmtList restricted to the current
+// function scope (function literals are analyzed separately).
+func forEachOwnStmtList(root ast.Node, fn func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			fn(s.List)
+		case *ast.CaseClause:
+			fn(s.Body)
+		case *ast.CommClause:
+			fn(s.Body)
+		}
+		return true
+	})
+}

@@ -1,0 +1,177 @@
+package detlint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and typechecked package ready for analysis.
+type Package struct {
+	Dir    string
+	Path   string // import path (module path + relative dir)
+	Module string // module path of the repository under analysis
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Loader parses and typechecks packages from source. Dependencies —
+// both module-internal and standard library — are resolved by the
+// stdlib source importer, so the tool needs nothing beyond the go
+// toolchain already required to build the repository.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+	imp     types.ImporterFrom
+}
+
+// NewLoader creates a loader rooted at the module containing dir.
+// go/build resolves module-aware import paths through the go command
+// relative to build.Default.Dir, so the loader pins it to the module
+// root; this makes the tool independent of the process working
+// directory.
+func NewLoader(dir string) (*Loader, error) {
+	root, modpath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	build.Default.Dir = root
+	fset := token.NewFileSet()
+	imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("detlint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{Fset: fset, ModRoot: root, ModPath: modpath, imp: imp}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modpath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("detlint: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("detlint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and typechecks the non-test files of the package in dir.
+// It returns (nil, nil) when the directory holds no non-test Go files.
+func (l *Loader) Load(dir string) (*Package, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.ModPath
+	if rel != "." {
+		path = l.ModPath + "/" + filepath.ToSlash(rel)
+	}
+	return l.LoadAs(dir, path)
+}
+
+// LoadAs is Load with an explicit import path (used by fixture tests).
+func (l *Loader) LoadAs(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("detlint: typecheck %s: %w", path, err)
+	}
+	return &Package{Dir: dir, Path: path, Module: l.ModPath, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// ExpandPatterns resolves command-line package patterns to directories.
+// A pattern ending in "/..." walks the tree; other patterns name one
+// directory. testdata, vendor and hidden directories are skipped.
+func ExpandPatterns(base string, patterns []string) ([]string, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			root := filepath.Join(base, rest)
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				add(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		add(filepath.Join(base, pat))
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

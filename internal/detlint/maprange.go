@@ -1,0 +1,229 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for … range` over a map in a deterministic package.
+// Go randomizes map iteration order, so any map range whose body is
+// order-sensitive makes the simulation differ run to run — exactly what
+// the bit-identity fixtures forbid. Two idioms are recognized as safe:
+//
+//  1. collect+sort: the body only appends the key to a slice, and the
+//     statement immediately following the loop sorts that slice;
+//  2. map copy: every body statement stores into another map at exactly
+//     the key, from an expression built only from the key, the value
+//     and literals (set/map construction is order-insensitive).
+//
+// Anything else needs a //detlint:ignore maprange comment stating why
+// the body is order-insensitive.
+var MapRange = &Analyzer{
+	Name:     "maprange",
+	Doc:      "map iteration order is randomized; deterministic packages must sort keys or prove order-insensitivity",
+	Packages: DetPackages,
+	Run:      runMapRange,
+}
+
+func runMapRange(p *Pass) {
+	for _, file := range p.Files {
+		forEachStmtList(file, func(list []ast.Stmt) {
+			for i, st := range list {
+				if ls, ok := st.(*ast.LabeledStmt); ok {
+					st = ls.Stmt
+				}
+				rs, ok := st.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				var next ast.Stmt
+				if i+1 < len(list) {
+					next = list[i+1]
+				}
+				if collectAndSort(p, rs, next) || mapCopyBody(p, rs) {
+					continue
+				}
+				p.Reportf(rs.Pos(),
+					"range over map %s: iteration order is randomized; collect+sort the keys, or annotate an order-insensitive body",
+					types.ExprString(rs.X))
+			}
+		})
+	}
+}
+
+// rangeVarObj resolves a range clause variable (defined by := or
+// assigned by =) to its object; nil for absent or blank variables.
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+// collectAndSort recognizes the collect+sort idiom: the loop body is a
+// single `s = append(s, …key…)` and the very next statement is a
+// sort/slices call over s.
+func collectAndSort(p *Pass, rs *ast.RangeStmt, next ast.Stmt) bool {
+	key := rangeVarObj(p, rs.Key)
+	if key == nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	dst := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != dst {
+		return false
+	}
+	usesKey := false
+	for _, arg := range call.Args[1:] {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == key {
+				usesKey = true
+			}
+			return true
+		})
+	}
+	return usesKey && isSortCallOn(p, next, dst)
+}
+
+// isSortCallOn reports whether st is a call into package sort or slices
+// with dst among its arguments.
+func isSortCallOn(p *Pass, st ast.Stmt, dst string) bool {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.Info.Uses[base].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	if path := pn.Imported().Path(); path != "sort" && path != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if types.ExprString(arg) == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// mapCopyBody recognizes the order-insensitive map-copy idiom: every
+// body statement is `dst[key] = expr` where dst is not the ranged map
+// and expr is built only from the range variables and literals.
+func mapCopyBody(p *Pass, rs *ast.RangeStmt) bool {
+	key := rangeVarObj(p, rs.Key)
+	if key == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	val := rangeVarObj(p, rs.Value)
+	src := types.ExprString(rs.X)
+	for _, st := range rs.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		ix, ok := as.Lhs[0].(*ast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ix.Index.(*ast.Ident); !ok || p.Info.Uses[id] != key {
+			return false
+		}
+		if types.ExprString(ix.X) == src {
+			return false // writing into the map being ranged
+		}
+		if !simpleRangeExpr(p, as.Rhs[0], key, val) {
+			return false
+		}
+	}
+	return true
+}
+
+// simpleRangeExpr reports whether e is built only from the range
+// variables, constants and literals (so its value cannot depend on how
+// far the iteration has progressed).
+func simpleRangeExpr(p *Pass, e ast.Expr, key, val types.Object) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == key || obj == val {
+			return true
+		}
+		_, isConst := obj.(*types.Const)
+		return isConst || obj == types.Universe.Lookup("nil")
+	case *ast.ParenExpr:
+		return simpleRangeExpr(p, x.X, key, val)
+	case *ast.UnaryExpr:
+		return simpleRangeExpr(p, x.X, key, val)
+	case *ast.BinaryExpr:
+		return simpleRangeExpr(p, x.X, key, val) && simpleRangeExpr(p, x.Y, key, val)
+	case *ast.SelectorExpr:
+		// v.Field chains rooted at a range variable.
+		root := x.X
+		for {
+			if inner, ok := root.(*ast.SelectorExpr); ok {
+				root = inner.X
+				continue
+			}
+			break
+		}
+		if id, ok := root.(*ast.Ident); ok {
+			obj := p.Info.Uses[id]
+			return obj == key || obj == val
+		}
+		return false
+	case *ast.CallExpr:
+		// Type conversions of allowed operands (int64(k), …).
+		if tv, ok := p.Info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return simpleRangeExpr(p, x.Args[0], key, val)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if !simpleRangeExpr(p, el, key, val) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package detlint
+
+import (
+	"go/ast"
+)
+
+// SnapshotFields cross-checks the Simulator struct against the snapshot
+// code: every field must be referenced by BOTH the Save and the Load
+// method (i.e. carried through the wire image, or at least consulted on
+// both sides), or carry a //detlint:ignore snapshotfields annotation
+// saying why it is deliberately outside the image. This turns "added a
+// field, forgot the snapshot" — which silently resurrects stale state
+// after a checkpointed-retry rollback — into a lint failure at the
+// field's declaration.
+//
+// The analyzer is structural: it runs on any package declaring a struct
+// type named Simulator with Save and Load methods, and is silent
+// elsewhere.
+var SnapshotFields = &Analyzer{
+	Name: "snapshotfields",
+	Doc:  "every Simulator field must be snapshotted (referenced in Save and Load) or annotated why not",
+	Run:  runSnapshotFields,
+}
+
+func runSnapshotFields(p *Pass) {
+	var simStruct *ast.StructType
+	var simPos = make(map[string]ast.Expr) // field name → position anchor
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Simulator" {
+				return true
+			}
+			if st, ok := ts.Type.(*ast.StructType); ok {
+				simStruct = st
+			}
+			return true
+		})
+	}
+	if simStruct == nil {
+		return
+	}
+
+	saveRefs := methodFieldRefs(p, "Save")
+	loadRefs := methodFieldRefs(p, "Load")
+	if saveRefs == nil || loadRefs == nil {
+		return // no snapshot methods; nothing to cross-check
+	}
+
+	for _, fld := range simStruct.Fields.List {
+		for _, name := range fld.Names {
+			simPos[name.Name] = name
+			if saveRefs[name.Name] && loadRefs[name.Name] {
+				continue
+			}
+			missing := "Save and Load"
+			switch {
+			case saveRefs[name.Name]:
+				missing = "Load"
+			case loadRefs[name.Name]:
+				missing = "Save"
+			}
+			p.Reportf(name.Pos(),
+				"Simulator field %s is not referenced by snapshot %s; carry it in the image or annotate why it is deliberately outside it",
+				name.Name, missing)
+		}
+	}
+}
+
+// methodFieldRefs returns the set of receiver fields selected (recv.f)
+// anywhere in the Simulator method with the given name, or nil when the
+// method does not exist.
+func methodFieldRefs(p *Pass, method string) map[string]bool {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			rt := fd.Recv.List[0].Type
+			if se, ok := rt.(*ast.StarExpr); ok {
+				rt = se.X
+			}
+			if id, ok := rt.(*ast.Ident); !ok || id.Name != "Simulator" {
+				continue
+			}
+			if len(fd.Recv.List[0].Names) != 1 || fd.Body == nil {
+				continue
+			}
+			recv := p.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recv == nil {
+				continue
+			}
+			refs := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && p.Info.Uses[id] == recv {
+					refs[sel.Sel.Name] = true
+				}
+				return true
+			})
+			return refs
+		}
+	}
+	return nil
+}

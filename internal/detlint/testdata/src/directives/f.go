@@ -1,0 +1,12 @@
+// Package fix is a directive-hygiene fixture: unknown check names and
+// malformed detlint:ignore comments are findings in their own right.
+package fix
+
+//detlint:ignore nosuchcheck bogus check name // want detlint
+func unknown() {}
+
+//detlint:ignore // want detlint
+func malformed() {}
+
+//detlint:ignore wallclock well-formed directives are fine even when unused
+func unused() {}

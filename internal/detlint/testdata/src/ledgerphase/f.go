@@ -1,0 +1,56 @@
+// Package fix is a ledgerphase fixture: every Begin/BeginPar must have
+// a matching End on all return paths of the opening function.
+package fix
+
+import "meshpram/internal/trace"
+
+func deferred(ld *trace.Ledger) {
+	sp := ld.Begin("a", trace.PhaseOther)
+	defer sp.End()
+	work()
+}
+
+func inline(ld *trace.Ledger) {
+	sp := ld.Begin("b", trace.PhaseSort)
+	work()
+	sp.End()
+}
+
+func deferredClosure(ld *trace.Ledger) {
+	sp := ld.BeginPar("c", trace.PhaseOther)
+	defer func() {
+		work()
+		sp.End()
+	}()
+}
+
+func discarded(ld *trace.Ledger) {
+	ld.Begin("d", trace.PhaseOther) // want ledgerphase
+	work()
+}
+
+func escapes(ld *trace.Ledger, bad bool) {
+	sp := ld.Begin("e", trace.PhaseOther) // want ledgerphase
+	if bad {
+		return
+	}
+	sp.End()
+}
+
+func reopened(ld *trace.Ledger) {
+	sp := ld.Begin("f", trace.PhaseOther) // want ledgerphase
+	sp = ld.Begin("g", trace.PhaseOther)
+	sp.End()
+}
+
+func suppressed(ld *trace.Ledger, xs []int) {
+	//detlint:ignore ledgerphase End is called on both branches below
+	sp := ld.Begin("h", trace.PhaseOther)
+	if len(xs) > 0 {
+		sp.End()
+		return
+	}
+	sp.End()
+}
+
+func work() {}

@@ -1,0 +1,78 @@
+// Package fix is a maprange fixture: marked lines must produce exactly
+// one finding each; everything else must be clean.
+package fix
+
+import "sort"
+
+func plain(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want maprange
+		s += v
+	}
+	return s
+}
+
+func collectSort(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectConverted(m map[int32]bool) []int64 {
+	var keys []int64
+	for k := range m {
+		keys = append(keys, int64(k))
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectNoSort(m map[int]bool) []int {
+	var keys []int
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func copyMap(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v + 1
+	}
+	return dst
+}
+
+func copyIntoSelf(m map[int]int) {
+	for k := range m { // want maprange
+		m[k] = 0
+	}
+}
+
+func suppressedCount(m map[int]int) int {
+	n := 0
+	//detlint:ignore maprange counting elements is order-insensitive
+	for range m {
+		n++
+	}
+	return n
+}
+
+func suppressedSameLine(m map[int]int) int {
+	s := 0
+	for _, v := range m { //detlint:ignore maprange summing is order-insensitive
+		s += v
+	}
+	return s
+}
+
+func overSlice(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

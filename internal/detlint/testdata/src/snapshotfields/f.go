@@ -1,0 +1,31 @@
+// Package fix is a snapshotfields fixture: every Simulator field must
+// be referenced by both Save and Load unless annotated.
+package fix
+
+import "io"
+
+type Simulator struct {
+	covered  int
+	saveOnly int // want snapshotfields
+	loadOnly int // want snapshotfields
+	orphan   int // want snapshotfields
+	//detlint:ignore snapshotfields fixture: derived cache, rebuilt on demand
+	cache map[int]int
+}
+
+func (sim *Simulator) Save(w io.Writer) error {
+	_ = sim.covered
+	_ = sim.saveOnly
+	return nil
+}
+
+func (sim *Simulator) Load(r io.Reader) error {
+	sim.covered = 1
+	sim.loadOnly = 2
+	return nil
+}
+
+// Other is not named Simulator, so its fields are out of scope.
+type Other struct {
+	ignored int
+}

@@ -1,0 +1,33 @@
+// Package fix is a wallclock fixture.
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() int64 {
+	return time.Now().UnixNano() // want wallclock
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock
+}
+
+func globalSource() int {
+	return rand.Intn(10) // want wallclock
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // methods on a seeded *rand.Rand are fine
+}
+
+func annotated() int64 {
+	//detlint:ignore wallclock diagnostics only; never enters simulation state
+	return time.Now().UnixNano()
+}
+
+func typesOnly(d time.Duration) time.Duration {
+	return d + time.Second // referencing time types/constants is fine
+}

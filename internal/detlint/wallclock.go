@@ -1,0 +1,62 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock bans wall-clock reads and unseeded randomness in the
+// deterministic packages. time.Now/time.Since values differ every run;
+// the global math/rand source (and every math/rand/v2 generator
+// constructor's default seed) is randomly seeded; crypto/rand is
+// nondeterministic by design. Simulation state derived from any of them
+// breaks bit-identity. Explicitly seeded generators
+// (rand.New(rand.NewSource(seed))) are fine.
+var WallClock = &Analyzer{
+	Name:     "wallclock",
+	Doc:      "no wall-clock reads or unseeded randomness in deterministic packages",
+	Packages: DetPackages,
+	Run:      runWallClock,
+}
+
+// randSeeded are the math/rand(/v2) names that only construct
+// explicitly-seeded state and are therefore allowed.
+var randSeeded = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" {
+					p.Reportf(sel.Pos(), "wall-clock read time.%s: values differ every run; use the step clock or annotate a diagnostics-only use", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on a *rand.Rand draw from the explicitly seeded
+				// source the caller built; only the package-level functions
+				// (and Seed-less v2 constructors) hit the global source.
+				fn, isFunc := obj.(*types.Func)
+				if !isFunc || randSeeded[obj.Name()] {
+					break
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+					p.Reportf(sel.Pos(), "unseeded randomness rand.%s: the global source is randomly seeded; use rand.New(rand.NewSource(seed))", obj.Name())
+				}
+			case "crypto/rand":
+				p.Reportf(sel.Pos(), "crypto/rand.%s is nondeterministic by design; deterministic packages must use a seeded source", obj.Name())
+			}
+			return true
+		})
+	}
+}

@@ -304,6 +304,7 @@ func (f *Map) MaxDelay() int {
 	if f == nil {
 		return d
 	}
+	//detlint:ignore maprange max over values is order-insensitive
 	for _, v := range f.slowLink {
 		if v > d {
 			d = v
@@ -533,9 +534,11 @@ func Parse(side int, spec string) (*Map, error) {
 				f.KillModule(p)
 			}
 		}
+		//detlint:ignore maprange set merge into another map is order-insensitive
 		for k := range rm.deadLink {
 			f.KillLink(k.a, k.b)
 		}
+		//detlint:ignore maprange set merge into another map is order-insensitive
 		for k, v := range rm.slowLink {
 			f.SlowLink(k.a, k.b, v)
 		}

@@ -152,18 +152,18 @@ func TestParseSchedule(t *testing.T) {
 	}
 
 	for _, bad := range []string{
-		"module:4",             // missing @STEP
-		"@x module:4",          // bad step
-		"@-1 module:4",         // negative step
-		"@0 gremlin:4",         // unknown kind
-		"@0 module:9",          // id out of range
-		"@0 link:0-4",          // not an edge
-		"@0 slow:0-1",          // missing factor
-		"@0 slow:0-1x1",        // factor < 2
-		"churn:module=2,until=9",   // rate out of range
-		"churn:module=0.1",         // missing until
+		"module:4",                       // missing @STEP
+		"@x module:4",                    // bad step
+		"@-1 module:4",                   // negative step
+		"@0 gremlin:4",                   // unknown kind
+		"@0 module:9",                    // id out of range
+		"@0 link:0-4",                    // not an edge
+		"@0 slow:0-1",                    // missing factor
+		"@0 slow:0-1x1",                  // factor < 2
+		"churn:module=2,until=9",         // rate out of range
+		"churn:module=0.1",               // missing until
 		"churn:module=0.1,until=9999999", // over the spec cap
-		"churn:bogus=1,until=9",    // unknown key
+		"churn:bogus=1,until=9",          // unknown key
 	} {
 		if _, err := ParseSchedule(3, bad); err == nil {
 			t.Errorf("ParseSchedule(%q) accepted a bad spec", bad)

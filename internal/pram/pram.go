@@ -333,7 +333,9 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 		if err := mb.Sim.Load(bytes.NewReader(snap.Bytes())); err != nil {
 			return nil, fmt.Errorf("pram: rollback: %w", err)
 		}
-		mb.Sim.RepairNow()
+		if err := mb.Sim.RepairNow(); err != nil {
+			return nil, fmt.Errorf("pram: repair before retry %d: %w", attempt, err)
+		}
 		backoff := int64(1) << (attempt - 1)
 		sp := mb.Sim.Ledger().Begin("retry-backoff", trace.PhaseRepair)
 		mb.m.AddSteps(backoff)

@@ -90,7 +90,10 @@ func writeCSVNode(w io.Writer, s *Span, prefix string, depth int) error {
 // document to the underlying writer.
 type JSONSink struct{ W io.Writer }
 
-// Emit implements Sink.
+// Emit implements Sink. The Sink interface has no error channel; a
+// failed diagnostics write must not abort the simulation it observes.
+//
+//detlint:ignore checkederr best-effort diagnostics sink; Sink has no error channel
 func (s JSONSink) Emit(root *Span) { _ = WriteJSON(s.W, root) }
 
 // CSVSink writes every completed root span as CSV rows (with a header
@@ -98,6 +101,8 @@ func (s JSONSink) Emit(root *Span) { _ = WriteJSON(s.W, root) }
 type CSVSink struct{ W io.Writer }
 
 // Emit implements Sink.
+//
+//detlint:ignore checkederr best-effort diagnostics sink; Sink has no error channel
 func (s CSVSink) Emit(root *Span) { _ = WriteCSV(s.W, root) }
 
 // CollectSink retains every completed root span in memory (tests,

@@ -288,6 +288,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	//detlint:ignore wallclock span wall time is a diagnostic; it never enters charged totals
 	s.wallNs = time.Since(s.start).Nanoseconds()
 	l := s.ledger
 	if l == nil {
@@ -377,6 +378,7 @@ func (l *Ledger) begin(name string, phase Phase, par bool) *Span {
 	if l == nil {
 		return nil
 	}
+	//detlint:ignore wallclock span wall time is a diagnostic; it never enters charged totals
 	s := &Span{name: name, phase: phase, par: par, ledger: l, start: time.Now()}
 	if l.captureAllocs {
 		s.allocs0 = mallocCount()

@@ -103,7 +103,7 @@ func TestInvarianceCoreStaged(t *testing.T) {
 		{culling: 1864, sort: 420, rank: 38, forward: 30, access: 15, ret: 29,
 			total: 2396, stageForward: []int64{0, 0, 36, 452}, delta: []int{11, 11, 8, 4},
 			pageLoadMax: []int{0, 11, 23},
-			resSum: 2029765, meshSteps: 4795},
+			resSum:      2029765, meshSteps: 4795},
 	})
 }
 
@@ -122,7 +122,7 @@ func TestFaultFreeInvariance(t *testing.T) {
 		{culling: 1864, sort: 420, rank: 38, forward: 30, access: 15, ret: 29,
 			total: 2396, stageForward: []int64{0, 0, 36, 452}, delta: []int{11, 11, 8, 4},
 			pageLoadMax: []int{0, 11, 23},
-			resSum: 2029765, meshSteps: 4795},
+			resSum:      2029765, meshSteps: 4795},
 	})
 
 	sim := core.MustNew(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, core.Config{Faults: fault.NewMap(9)})
@@ -154,7 +154,7 @@ func TestScheduleStaticEquivalence(t *testing.T) {
 		{culling: 1864, sort: 420, rank: 38, forward: 30, access: 15, ret: 29,
 			total: 2396, stageForward: []int64{0, 0, 36, 452}, delta: []int{11, 11, 8, 4},
 			pageLoadMax: []int{0, 11, 23},
-			resSum: 2029765, meshSteps: 4795},
+			resSum:      2029765, meshSteps: 4795},
 	})
 
 	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
@@ -219,7 +219,7 @@ func TestInvarianceCoreReadOneWriteAll(t *testing.T) {
 		{packets: 409, culling: 0, sort: 915, rank: 38, forward: 42, access: 20, ret: 30,
 			total: 1045, stageForward: []int64{0, 0, 34, 961}, delta: []int{11, 11, 8, 9},
 			pageLoadBound: []int{0, 0, 0},
-			resSum: 1322407, meshSteps: 1045},
+			resSum:        1322407, meshSteps: 1045},
 		{culling: 0, sort: 912, rank: 38, forward: 31, access: 18, ret: 26,
 			total: 1025, stageForward: []int64{0, 0, 30, 951}, delta: []int{9, 9, 7, 9},
 			resSum: 2029765, meshSteps: 2070},
