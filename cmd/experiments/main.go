@@ -29,7 +29,7 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment by id (e.g. E5)")
 	big := flag.Bool("big", false, "include the largest machine sizes")
-	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "mesh engine and router goroutines (0 = GOMAXPROCS)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list experiments and exit")
 	outDir := flag.String("out", "", "also write each experiment's output to <dir>/<ID>.txt")

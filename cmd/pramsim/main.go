@@ -44,7 +44,7 @@ func main() {
 	k := flag.Int("k", 2, "HMOS levels")
 	size := flag.Int("n", 64, "problem size")
 	backend := flag.String("backend", "both", "both | ideal | mesh")
-	workers := flag.Int("workers", 1, "mesh engine goroutines (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 1, "mesh engine and router goroutines (0 = GOMAXPROCS); results are width-invariant")
 	faults := flag.String("faults", "", "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
 	schedule := flag.String("fault-schedule", "", "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
 	repairFlag := flag.String("repair", "off", "self-healing scrub policy: off | eager | lazy")

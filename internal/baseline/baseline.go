@@ -62,6 +62,14 @@ type NoReplication struct {
 	store []map[int]Word
 	mult  uint64
 	cw    *CWHash // non-nil: Carter–Wegman placement (see universal.go)
+
+	// Persistent router and per-step buffers: a batch loop routes
+	// without reallocating queue or delivery storage (entries are
+	// truncated, never freed, between steps).
+	eng  *route.Engine[nrPkt]
+	pkts [][]nrPkt // injection / post-sort layout
+	fwd  [][]nrPkt // forward-route deliveries
+	ret  [][]nrPkt // return-route deliveries
 }
 
 // NewNoReplication creates the single-copy baseline.
@@ -76,6 +84,10 @@ func NewNoReplication(side, vars int) (*NoReplication, error) {
 		Vars:  vars,
 		store: make([]map[int]Word, m.N),
 		mult:  0x9e3779b97f4a7c15,
+		eng:   route.NewEngine[nrPkt](m),
+		pkts:  make([][]nrPkt, m.N),
+		fwd:   make([][]nrPkt, m.N),
+		ret:   make([][]nrPkt, m.N),
 	}, nil
 }
 
@@ -118,7 +130,7 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 	m := b.M
 	ld := m.Ledger()
 	step := ld.Begin("step", trace.PhaseOther)
-	pkts := make([][]nrPkt, m.N)
+	pkts := b.pkts // empty entries: drained by the previous step's routing
 	seen := make(map[int]bool, len(ops))
 	for i, op := range ops {
 		if op.Var < 0 || op.Var >= b.Vars {
@@ -139,7 +151,7 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 	lf := ld.Begin("sort", trace.PhaseSort)
 	m.AddSteps(sortSteps)
 	lf.End()
-	delivered, cycles := route.GreedyRoute(m, full, sorted, func(p nrPkt) int { return p.dest })
+	delivered, cycles := b.eng.Route(b.fwd, full, sorted, func(p nrPkt) int { return p.dest })
 	lf = ld.Begin("forward", trace.PhaseForward)
 	m.AddSteps(cycles)
 	lf.End()
@@ -167,7 +179,7 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 	m.AddSteps(int64(maxPer))
 	lf.End()
 
-	home, back := route.GreedyRoute(m, full, delivered, func(p nrPkt) int { return p.origin })
+	home, back := b.eng.Route(b.ret, full, delivered, func(p nrPkt) int { return p.origin })
 	lf = ld.Begin("return", trace.PhaseReturn)
 	m.AddSteps(back)
 	lf.End()
@@ -179,6 +191,7 @@ func (b *NoReplication) Step(ops []Op) ([]Word, StepCost) {
 				res[pk.op] = pk.val
 			}
 		}
+		home[p] = home[p][:0] // leave the return buffer empty for reuse
 	}
 	for i, op := range ops {
 		if op.IsWrite {
@@ -212,6 +225,12 @@ type RandomMOS struct {
 	place [][]int32 // place[v] = the 2c−1 processors holding v's copies
 	store []map[int64]tsCell
 	now   int64
+
+	// Persistent router and per-step buffers (see NoReplication).
+	eng  *route.Engine[rmPkt]
+	pkts [][]rmPkt
+	fwd  [][]rmPkt
+	ret  [][]rmPkt
 }
 
 type tsCell struct {
@@ -235,6 +254,10 @@ func NewRandomMOS(side, vars, c int, seed int64) (*RandomMOS, error) {
 		M: m, C: c, vars: vars,
 		place: make([][]int32, vars),
 		store: make([]map[int64]tsCell, m.N),
+		eng:   route.NewEngine[rmPkt](m),
+		pkts:  make([][]rmPkt, m.N),
+		fwd:   make([][]rmPkt, m.N),
+		ret:   make([][]rmPkt, m.N),
 	}
 	for v := range b.place {
 		procs := make([]int32, 2*c-1)
@@ -275,7 +298,7 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 	ld := m.Ledger()
 	step := ld.Begin("step", trace.PhaseOther)
 	b.now++
-	pkts := make([][]rmPkt, m.N)
+	pkts := b.pkts // empty entries: drained by the previous step's routing
 	seen := make(map[int]bool, len(ops))
 	for i, op := range ops {
 		if op.Var < 0 || op.Var >= b.vars {
@@ -302,7 +325,7 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 	lf := ld.Begin("sort", trace.PhaseSort)
 	m.AddSteps(sortSteps)
 	lf.End()
-	delivered, cycles := route.GreedyRoute(m, full, sorted, func(p rmPkt) int { return p.dest })
+	delivered, cycles := b.eng.Route(b.fwd, full, sorted, func(p rmPkt) int { return p.dest })
 	lf = ld.Begin("forward", trace.PhaseForward)
 	m.AddSteps(cycles)
 	lf.End()
@@ -330,7 +353,7 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 	m.AddSteps(int64(maxPer))
 	lf.End()
 
-	home, back := route.GreedyRoute(m, full, delivered, func(p rmPkt) int { return p.origin })
+	home, back := b.eng.Route(b.ret, full, delivered, func(p rmPkt) int { return p.origin })
 	lf = ld.Begin("return", trace.PhaseReturn)
 	m.AddSteps(back)
 	lf.End()
@@ -347,6 +370,7 @@ func (b *RandomMOS) Step(ops []Op) ([]Word, StepCost) {
 				res[pk.op] = pk.val
 			}
 		}
+		home[p] = home[p][:0] // leave the return buffer empty for reuse
 	}
 	for i, op := range ops {
 		if op.IsWrite {

@@ -210,6 +210,12 @@ type Simulator struct {
 	ld *trace.Ledger // the step ledger, attached to M
 	//detlint:ignore snapshotfields recycled scratch buffers; content-free between steps
 	arena *pktArena // recycled per-processor packet buffers
+	//detlint:ignore snapshotfields persistent router; queues empty between calls
+	eng *route.Engine[pkt] // reused by every routeIn call
+	//detlint:ignore snapshotfields persistent router for repair scrubs; queues empty between calls
+	reng *route.Engine[rpkt]
+	//detlint:ignore snapshotfields recycled scrub delivery buffer; truncated between scrubs
+	rbuf [][]rpkt
 
 	// store[p] is processor p's local memory module: copy slot id →
 	// (value, timestamp). Lazily populated; absent means (0, 0).
@@ -291,6 +297,7 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 		cfg:    cfg,
 		ld:     ld,
 		arena:  newPktArena(m.N),
+		eng:    route.NewEngine[pkt](m),
 		store:  make([]map[int64]cell, m.N),
 		faults: live,
 	}, nil
@@ -917,8 +924,10 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op, avail [][]bool) *culling.R
 
 // routeIn routes packets within a region, using torus links when the
 // configuration enables them and the region spans the whole machine.
-// The delivery buffer comes from the simulator's arena; the caller must
-// return it via arena.put once its entries are drained and truncated.
+// All calls go through the simulator's persistent route.Engine, so
+// queue and arrival storage is reused from step to step; the delivery
+// buffer comes from the simulator's arena; the caller must return it
+// via arena.put once its entries are drained and truncated.
 func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, dest func(pkt) int) ([][]pkt, int64) {
 	buf := sim.arena.get()
 	torus := sim.cfg.Torus && fullMachine
@@ -927,9 +936,9 @@ func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, de
 		var cycles int64
 		var lost int
 		if torus {
-			delivered, cycles, lost = route.GreedyRouteTorusFaultInto(buf, sim.M, items, dest)
+			delivered, cycles, lost = sim.eng.RouteTorusFault(buf, items, dest)
 		} else {
-			delivered, cycles, lost = route.GreedyRouteFaultInto(buf, sim.M, r, items, dest)
+			delivered, cycles, lost = sim.eng.RouteFault(buf, r, items, dest)
 		}
 		if lost > 0 && sim.rep != nil {
 			sim.rep.LostPackets += lost
@@ -937,9 +946,9 @@ func (sim *Simulator) routeIn(r mesh.Region, fullMachine bool, items [][]pkt, de
 		return delivered, cycles
 	}
 	if torus {
-		return route.GreedyRouteTorusInto(buf, sim.M, items, dest)
+		return sim.eng.RouteTorus(buf, items, dest)
 	}
-	return route.GreedyRouteInto(buf, sim.M, r, items, dest)
+	return sim.eng.Route(buf, r, items, dest)
 }
 
 // sortSnake dispatches to the simulated sorting network or its

@@ -396,8 +396,12 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 		return nil
 	}
 	sp.AddPackets(int64(npkts))
-	delivered, cycles, lost := route.GreedyRouteFaultInto(
-		make([][]rpkt, m.N), m, m.Full(), items, func(p rpkt) int { return p.dest })
+	if sim.reng == nil {
+		sim.reng = route.NewEngine[rpkt](m)
+		sim.rbuf = make([][]rpkt, m.N)
+	}
+	delivered, cycles, lost := sim.reng.RouteFault(
+		sim.rbuf, m.Full(), items, func(p rpkt) int { return p.dest })
 	sim.rstats.Lost += lost
 	maxWrites := 0
 	for p := range delivered {
@@ -415,6 +419,7 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 		if len(delivered[p]) > maxWrites {
 			maxWrites = len(delivered[p])
 		}
+		delivered[p] = delivered[p][:0] // keep the scrub buffer reusable
 	}
 	charge := cycles + int64(maxWrites)
 	m.AddSteps(charge)

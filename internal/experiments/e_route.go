@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"meshpram/internal/mesh"
+	"meshpram/internal/route"
+	"meshpram/internal/stats"
+)
+
+// routeKinds are the router micro-benchmark workloads, mirroring
+// BenchmarkGreedyRoute{Dense,Transpose,Sparse} in internal/route:
+// dense protocol-stage traffic, the adversarial transpose permutation,
+// and the sparse shape of a repair scrub.
+var routeKinds = []string{"dense", "transpose", "sparse"}
+
+// routeInstance rebuilds one benchmark workload (see the route package
+// benchmarks for the shapes).
+func routeInstance(kind string, m *mesh.Machine, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	dests := make([][]int, m.N)
+	switch kind {
+	case "dense":
+		for p := 0; p < m.N; p++ {
+			for j := 0; j < 4; j++ {
+				dests[p] = append(dests[p], rng.Intn(m.N))
+			}
+		}
+	case "transpose":
+		for p := 0; p < m.N; p++ {
+			dests[p] = append(dests[p], m.IDOf(m.ColOf(p), m.RowOf(p)))
+		}
+	case "sparse":
+		for p := 0; p < m.N; p += 16 {
+			dests[p] = append(dests[p], rng.Intn(m.N))
+		}
+	default:
+		panic("unknown route instance " + kind)
+	}
+	return dests
+}
+
+// routeCell is one measured (kind, side, workers) configuration.
+type routeCell struct {
+	nsOp     int64
+	allocsOp int64
+	cycles   int64
+}
+
+// measureRoute times iters steady-state calls of a persistent engine on
+// the instance (one untimed warm-up call populates the engine's and the
+// delivery buffer's capacity, so the figure reflects the reuse path a
+// hot loop sees).
+func measureRoute(kind string, side, workers, iters int, seed int64) routeCell {
+	m := mesh.MustNew(side)
+	if workers > 1 {
+		m.SetParallel(workers)
+	}
+	dests := routeInstance(kind, m, seed)
+	items := make([][]int, m.N)
+	dst := make([][]int, m.N)
+	ident := func(d int) int { return d }
+	eng := route.NewEngine[int](m)
+	full := m.Full()
+	var cell routeCell
+	var ms0, ms1 runtime.MemStats
+	for it := -1; it < iters; it++ {
+		for p := range items {
+			items[p] = append(items[p][:0], dests[p]...)
+		}
+		if it == 0 {
+			runtime.ReadMemStats(&ms0)
+		}
+		start := time.Now()
+		_, cycles := eng.Route(dst, full, items, ident)
+		if it >= 0 {
+			cell.nsOp += time.Since(start).Nanoseconds()
+			cell.cycles = cycles
+		}
+		for p := range dst {
+			dst[p] = dst[p][:0]
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	cell.nsOp /= int64(iters)
+	cell.allocsOp = int64(ms1.Mallocs-ms0.Mallocs) / int64(iters)
+	return cell
+}
+
+// RunRoute is the ROUTE entry: the allocation-lean greedy routing
+// engine's micro-benchmark, the committed counterpart of the
+// pre-engine BENCH_ROUTE.baseline.json. It measures ns/op, allocs/op
+// and the cycle count for dense, transpose and sparse instances at
+// sides 27 and 81, plus the workers=4 sharded sweep at side 81.
+// Delivered traffic is bit-identical across worker widths (pinned by
+// the route package's equivalence tests), so the workers rows measure
+// overhead/speedup only. Note: on a single-core host the sharded sweep
+// cannot beat the sequential one; compare the workers rows against
+// runtime.NumCPU when reading the figures.
+func RunRoute(w io.Writer, cfg Config) error {
+	type rowKey struct {
+		kind    string
+		side    int
+		workers int
+	}
+	rows := []rowKey{}
+	for _, kind := range routeKinds {
+		rows = append(rows,
+			rowKey{kind, 27, 1},
+			rowKey{kind, 81, 1},
+			rowKey{kind, 81, 4},
+		)
+	}
+	var tb stats.Table
+	tb.Add("instance", "side", "workers", "ns/op", "allocs/op", "route cycles")
+	for _, rk := range rows {
+		iters := 3
+		if rk.side >= 81 {
+			iters = 2
+		}
+		cell := measureRoute(rk.kind, rk.side, rk.workers, iters, cfg.Seed)
+		tb.Add(rk.kind, rk.side, rk.workers, cell.nsOp, cell.allocsOp, cell.cycles)
+		key := fmt.Sprintf("%s-%d", rk.kind, rk.side)
+		if rk.workers > 1 {
+			key = fmt.Sprintf("%s-workers%d", key, rk.workers)
+		}
+		cfg.Report.SetPhase(key+"-ns-op", cell.nsOp)
+		cfg.Report.SetPhase(key+"-allocs-op", cell.allocsOp)
+		cfg.Report.SetPhase(key+"-cycles", cell.cycles)
+		if rk.kind == "dense" && rk.side == 81 && rk.workers == 1 {
+			cfg.Report.SetSteps(cell.cycles)
+		}
+	}
+	tb.Render(w)
+	fmt.Fprintf(w, "\nhost cores: %d (workers rows show sharding overhead when cores=1)\n", runtime.NumCPU())
+	fmt.Fprintf(w, "compare against the committed pre-engine BENCH_ROUTE.baseline.json\n")
+	return nil
+}

@@ -46,8 +46,8 @@ func TestIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 20 {
-		t.Fatalf("%d experiments, want 20 (DESIGN.md §4 plus FAULT and RECOVER)", len(All))
+	if len(All) != 21 {
+		t.Fatalf("%d experiments, want 21 (DESIGN.md §4 plus FAULT, RECOVER and ROUTE)", len(All))
 	}
 }
 

@@ -1,0 +1,609 @@
+package route
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"meshpram/internal/fault"
+	"meshpram/internal/mesh"
+	"meshpram/internal/trace"
+)
+
+// Engine is a persistent, allocation-lean greedy router. It simulates
+// the same cycle-accurate dimension-ordered routing as GreedyRoute —
+// bit-identically: delivered contents, per-processor delivery order,
+// cycle counts and ledger spans all match the historical per-call
+// router — but keeps every buffer it needs across Route calls, so a
+// hot loop (a protocol stage per PRAM step, a baseline batch, a repair
+// scrub) routes without rebuilding queue or arrival storage.
+//
+// Layout and algorithm:
+//
+//   - packets live in a flat struct-of-arrays slab (value, destination,
+//     remaining distance, outgoing direction, previous hop), indexed by
+//     slot id; slot ids are assigned in injection order, so the slot id
+//     doubles as the deterministic tie-break key;
+//   - per-node queues hold slot ids and keep their capacity across
+//     calls (the free-list: the slab and all queues are truncated, not
+//     freed, when a call completes);
+//   - an active-node worklist holds exactly the occupied nodes, sorted
+//     into region row-major order each cycle, so a cycle costs
+//     O(occupied nodes + queued packets) instead of O(region);
+//   - each packet caches its (direction, remaining distance): the
+//     distance decreases by one per hop and the direction is only
+//     recomputed when the packet crosses its destination column (or,
+//     after a fault detour, from scratch at the new position) — the
+//     per-cycle topology interface calls of the old router are gone;
+//   - with mesh workers > 1 the selection sweep runs sharded: the
+//     sorted worklist is cut into contiguous row-ordered strips, one
+//     worker each, and the per-worker arrival buffers are concatenated
+//     in strip order. Selection is node-local and the strip order
+//     equals the sequential sweep order, so the parallel sweep is
+//     bit-identical to the sequential one by construction (DESIGN.md
+//     §10).
+//
+// An Engine is not safe for concurrent use; give each goroutine its
+// own. The zero value is not usable — construct with NewEngine.
+type Engine[T any] struct {
+	m *mesh.Machine
+
+	// Struct-of-arrays packet slab, truncated (capacity kept) per call.
+	// Slot i was the i-th routed packet injected, so slot order is the
+	// historical seq order.
+	val   []T
+	dests []int32
+	dist  []int32
+	dir   []int8
+	from  []int32 // previous hop (-1 at injection); fault path only
+
+	queues  [][]int32 // region-local node id → queued slot ids
+	inQ     []bool    // region-local node id → on the worklist
+	active  []int32   // worklist: occupied region-local node ids
+	scratch []int32   // worklist double-buffer for the rebuild pass
+
+	arr [][]engArrival // per-shard arrival buffers, merged in shard order
+}
+
+// engArrival is one packet crossing into a new processor this cycle.
+type engArrival struct {
+	to    int32 // absolute destination processor of the hop
+	slot  int32
+	fromP int32 // node that sent it (fault path: backtrack demotion)
+	// detour marks a hop off the preferred dimension-ordered direction;
+	// the merge then recomputes the packet's cached (dir, dist) from
+	// scratch instead of updating incrementally.
+	detour bool
+}
+
+// engShardMin is the minimum worklist length per parallel shard; below
+// it the sweep stays sequential (shard overhead would dominate).
+const engShardMin = 64
+
+// NewEngine creates a reusable greedy router for the machine.
+func NewEngine[T any](m *mesh.Machine) *Engine[T] {
+	return &Engine[T]{m: m}
+}
+
+// Route delivers every item to its destination processor inside region
+// r over plain mesh links, exactly like GreedyRoute, into dst (nil
+// allocates). It returns the delivered items per processor and the
+// cycle count.
+func (e *Engine[T]) Route(dst [][]T, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return e.route(dst, r, items, dest, meshTopo{e.m}, false)
+}
+
+// RouteTorus is Route on the full machine with wrap-around links.
+func (e *Engine[T]) RouteTorus(dst [][]T, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
+	return e.route(dst, e.m.Full(), items, dest, torusTopo{e.m}, true)
+}
+
+// RouteFault is the fault-aware routing of GreedyRouteFaultInto on the
+// engine: detours around dead links/nodes with backtrack demotion,
+// slow-link waiting, a bounded retry budget, and lost-packet
+// accounting, all bit-identical to the per-call router.
+func (e *Engine[T]) RouteFault(dst [][]T, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64, lost int) {
+	return e.routeFault(dst, r, items, dest, meshTopo{e.m}, false)
+}
+
+// RouteTorusFault is RouteFault on the full machine with wrap-around
+// links.
+func (e *Engine[T]) RouteTorusFault(dst [][]T, items [][]T, dest func(T) int) (delivered [][]T, steps int64, lost int) {
+	return e.routeFault(dst, e.m.Full(), items, dest, torusTopo{e.m}, true)
+}
+
+// ensure sizes the per-node state for region r and truncates the slab.
+func (e *Engine[T]) ensure(r mesh.Region) {
+	nl := r.H * r.W
+	if nl > len(e.queues) {
+		if nl <= cap(e.queues) {
+			e.queues = e.queues[:nl]
+		} else {
+			nq := make([][]int32, nl)
+			copy(nq, e.queues)
+			e.queues = nq
+		}
+	}
+	if nl > len(e.inQ) {
+		e.inQ = make([]bool, nl) // all-false at rest by invariant
+	}
+	e.val = e.val[:0]
+	e.dests = e.dests[:0]
+	e.dist = e.dist[:0]
+	e.dir = e.dir[:0]
+	e.from = e.from[:0]
+}
+
+// cleanup truncates every touched queue and clears the worklist, so the
+// engine is back to its at-rest invariant (all queues empty, all inQ
+// false) whatever state the routing loop ended in.
+func (e *Engine[T]) cleanup() {
+	for _, lp := range e.active {
+		e.queues[lp] = e.queues[lp][:0]
+		e.inQ[lp] = false
+	}
+	e.active = e.active[:0]
+}
+
+// localOf maps an absolute processor id to its region-local index.
+func (e *Engine[T]) localOf(p int, r mesh.Region) int {
+	return (e.m.RowOf(p)-r.R0)*r.W + (e.m.ColOf(p) - r.C0)
+}
+
+// absOf maps a region-local index back to the absolute processor id.
+func (e *Engine[T]) absOf(lp int, r mesh.Region) int {
+	return e.m.IDOf(r.R0+lp/r.W, r.C0+lp%r.W)
+}
+
+// stepTo returns the neighbor one hop in direction dir (0=-col, 1=+col,
+// 2=-row, 3=+row), wrapping on the torus. The caller guarantees the hop
+// stays inside the region (preferred dimension-ordered hops always do).
+func (e *Engine[T]) stepTo(p, dir int, wrap bool) int {
+	m := e.m
+	if !wrap {
+		switch dir {
+		case 0:
+			return p - 1
+		case 1:
+			return p + 1
+		case 2:
+			return p - m.Side
+		default:
+			return p + m.Side
+		}
+	}
+	s := m.Side
+	row, col := m.RowOf(p), m.ColOf(p)
+	switch dir {
+	case 0:
+		col = (col - 1 + s) % s
+	case 1:
+		col = (col + 1) % s
+	case 2:
+		row = (row - 1 + s) % s
+	default:
+		row = (row + 1) % s
+	}
+	return m.IDOf(row, col)
+}
+
+// stepBounded is stepTo with region bounds: ok=false when the hop
+// leaves the region (wrap allowed on the torus, where the region is the
+// full machine). It is the engine port of the fault router's neighborOf.
+func (e *Engine[T]) stepBounded(p, dir int, r mesh.Region, wrap bool) (int, bool) {
+	m := e.m
+	row, col := m.RowOf(p), m.ColOf(p)
+	switch dir {
+	case 0:
+		col--
+	case 1:
+		col++
+	case 2:
+		row--
+	default:
+		row++
+	}
+	if wrap {
+		s := m.Side
+		return m.IDOf((row+s)%s, (col+s)%s), true
+	}
+	if row < r.R0 || row >= r.R0+r.H || col < r.C0 || col >= r.C0+r.W {
+		return 0, false
+	}
+	return m.IDOf(row, col), true
+}
+
+// rowDirAfterCol returns the cached direction for a packet that just
+// reached its destination column: the row direction topo.next would
+// choose at p.
+func rowDirAfterCol(m *mesh.Machine, p, dest int, wrap bool) int8 {
+	if !wrap {
+		if m.RowOf(p) > m.RowOf(dest) {
+			return 2
+		}
+		return 3
+	}
+	step, _ := torusTopo{m}.axis(m.RowOf(p), m.RowOf(dest), m.Side)
+	if step < 0 {
+		return 2
+	}
+	return 3
+}
+
+// enqueue appends slot to node lp's queue, adding lp to the worklist
+// being built when it was not occupied.
+func (e *Engine[T]) enqueue(lp int, slot int32, wl []int32) []int32 {
+	e.queues[lp] = append(e.queues[lp], slot)
+	if !e.inQ[lp] {
+		e.inQ[lp] = true
+		wl = append(wl, int32(lp))
+	}
+	return wl
+}
+
+// inject drains items into the slab and queues. Packets already at
+// their destination are delivered immediately; with a fault map f
+// (fault path only — the healthy path passes nil even on a faulted
+// machine, like GreedyRoute always did), packets to dead nodes are
+// lost at injection. Returns the number of routed (queued) packets,
+// which is also the slab length, and the injection losses.
+func (e *Engine[T]) inject(delivered [][]T, r mesh.Region, items [][]T, dest func(T) int, topo topology, f *fault.Map) (active, lost int) {
+	m := e.m
+	wl := e.active
+	for row := r.R0; row < r.R0+r.H; row++ {
+		for col := r.C0; col < r.C0+r.W; col++ {
+			p := m.IDOf(row, col)
+			for _, v := range items[p] {
+				d := dest(v)
+				if !r.Contains(m, d) {
+					panic(fmt.Sprintf("route: destination %d outside region %v", d, r))
+				}
+				if f.NodeDead(d) {
+					lost++ // undeliverable: the destination is dead
+					continue
+				}
+				if d == p {
+					delivered[p] = append(delivered[p], v)
+					continue
+				}
+				slot := int32(len(e.val))
+				dr, _ := topo.next(p, d)
+				e.val = append(e.val, v)
+				e.dests = append(e.dests, int32(d))
+				e.dist = append(e.dist, int32(topo.dist(p, d)))
+				e.dir = append(e.dir, int8(dr))
+				e.from = append(e.from, -1)
+				wl = e.enqueue(e.localOf(p, r), slot, wl)
+				active++
+			}
+			items[p] = items[p][:0]
+		}
+	}
+	e.active = wl
+	return active, lost
+}
+
+// shardPlan returns how many parallel shards this cycle's sweep uses:
+// 1 (sequential) unless the machine's engine width and the worklist
+// length both warrant sharding.
+func (e *Engine[T]) shardPlan() int {
+	wk := e.m.Workers()
+	if wk <= 1 {
+		return 1
+	}
+	s := len(e.active) / engShardMin
+	if s > wk {
+		s = wk
+	}
+	if s < 2 {
+		return 1
+	}
+	return s
+}
+
+// sweep runs one selection sweep over the sorted worklist — sequential
+// or sharded per shardPlan — filling e.arr[0:shards]. The sweep only
+// reads packet state and fault/topology data and only writes its own
+// shard's queues and arrival buffer, so shards race on nothing; the
+// concatenation of the shard buffers equals the sequential arrival
+// order because the worklist is sorted and shards are contiguous.
+// Returns (shards, total arrivals).
+func (e *Engine[T]) sweep(r mesh.Region, topo topology, wrap, faulty bool, cycle int64) (int, int) {
+	shards := e.shardPlan()
+	for len(e.arr) < shards {
+		e.arr = append(e.arr, nil)
+	}
+	n := len(e.active)
+	if shards == 1 {
+		e.sweepRange(0, 0, n, r, topo, wrap, faulty, cycle)
+		return 1, len(e.arr[0])
+	}
+	var wg sync.WaitGroup
+	chunk := (n + shards - 1) / shards
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			e.arr[w] = e.arr[w][:0]
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			e.sweepRange(w, lo, hi, r, topo, wrap, faulty, cycle)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < shards; w++ {
+		total += len(e.arr[w])
+	}
+	return shards, total
+}
+
+// sweepRange performs the selection sweep for worklist[lo:hi] into
+// arrival buffer w: per occupied node, pick at most one packet per
+// outgoing direction by farthest-remaining-distance first (ties by
+// injection order = slot id), then compact the queue in place.
+func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap, faulty bool, cycle int64) {
+	f := e.m.Faults()
+	arr := e.arr[w][:0]
+	for _, lpp := range e.active[lo:hi] {
+		lp := int(lpp)
+		q := e.queues[lp]
+		if len(q) == 0 {
+			continue
+		}
+		p := e.absOf(lp, r)
+		// best[dir] = queue index of chosen packet, -1 none.
+		var best [4]int
+		var bestDist [4]int32
+		best[0], best[1], best[2], best[3] = -1, -1, -1, -1
+		for qi, slot := range q {
+			d := int(e.dir[slot])
+			if faulty {
+				// Preferred healthy hop first (bit-identical when up),
+				// then detour candidates by (distance, direction). The
+				// hop that undoes the previous move is a last resort —
+				// otherwise a packet blocked broadside ping-pongs
+				// between two nodes until the budget kills it.
+				if !usableLink(f, p, e.stepTo(p, d, wrap), cycle) {
+					d = -1
+					var bd int32
+					back := -1
+					for cand := 0; cand < 4; cand++ {
+						to2, ok := e.stepBounded(p, cand, r, wrap)
+						if !ok || !usableLink(f, p, to2, cycle) {
+							continue
+						}
+						if int32(to2) == e.from[slot] {
+							back = cand
+							continue
+						}
+						d2 := int32(topo.dist(to2, int(e.dests[slot])))
+						if d == -1 || d2 < bd {
+							d, bd = cand, d2
+						}
+					}
+					if d == -1 {
+						d = back
+					}
+					if d == -1 {
+						continue // blocked this cycle; wait
+					}
+				}
+			}
+			dd := e.dist[slot]
+			if b := best[d]; b == -1 || dd > bestDist[d] ||
+				(dd == bestDist[d] && slot < q[b]) {
+				best[d] = qi
+				bestDist[d] = dd
+			}
+		}
+		picked := 0
+		for d := 0; d < 4; d++ {
+			if best[d] >= 0 {
+				slot := q[best[d]]
+				var to int
+				if faulty {
+					to, _ = e.stepBounded(p, d, r, wrap)
+				} else {
+					to = e.stepTo(p, d, wrap)
+				}
+				arr = append(arr, engArrival{
+					to: int32(to), slot: slot, fromP: int32(p),
+					detour: int8(d) != e.dir[slot],
+				})
+				picked++
+			}
+		}
+		if picked > 0 {
+			// Compact in place, dropping the selected indexes.
+			out := q[:0]
+			for qi := range q {
+				if qi != best[0] && qi != best[1] && qi != best[2] && qi != best[3] {
+					out = append(out, q[qi])
+				}
+			}
+			e.queues[lp] = out
+		}
+	}
+	e.arr[w] = arr
+}
+
+// usableLink reports whether the p→to link may carry a packet this
+// cycle: alive on both ends, not dead, and — for slow links — on a
+// cycle divisible by the slow factor.
+func usableLink(f *fault.Map, p, to int, cycle int64) bool {
+	if !f.LinkUp(p, to) {
+		return false
+	}
+	return cycle%int64(f.LinkDelay(p, to)) == 0
+}
+
+// merge applies one cycle's arrivals in deterministic shard order:
+// deliver packets that reached their destination, update each mover's
+// cached (dir, dist) — incrementally after a preferred hop, from
+// scratch after a detour — re-queue the rest, and rebuild the worklist
+// (prune emptied nodes, add newly occupied ones). The worklist is kept
+// sorted incrementally: pruning preserves order, and the tail of newly
+// occupied nodes is sorted on its own and merged back in, so no cycle
+// ever sorts the whole worklist. Returns the number of packets
+// delivered this cycle.
+func (e *Engine[T]) merge(delivered [][]T, r mesh.Region, topo topology, wrap, faulty bool, shards int) int {
+	m := e.m
+	done := 0
+	// Prune first: a node emptied by the sweep leaves the worklist
+	// unless an arrival below re-occupies it.
+	wl := e.scratch[:0]
+	for _, lp := range e.active {
+		if len(e.queues[lp]) > 0 {
+			wl = append(wl, lp)
+		} else {
+			e.inQ[lp] = false
+		}
+	}
+	sorted := len(wl) // prune preserved order; enqueue appends after here
+	for w := 0; w < shards; w++ {
+		for _, a := range e.arr[w] {
+			slot := a.slot
+			to := int(a.to)
+			if faulty {
+				e.from[slot] = a.fromP
+				if a.detour {
+					d := int(e.dests[slot])
+					if to == d {
+						delivered[to] = append(delivered[to], e.val[slot])
+						done++
+						continue
+					}
+					dr, _ := topo.next(to, d)
+					e.dir[slot] = int8(dr)
+					e.dist[slot] = int32(topo.dist(to, d))
+					wl = e.enqueue(e.localOf(to, r), slot, wl)
+					continue
+				}
+			}
+			nd := e.dist[slot] - 1
+			if nd == 0 {
+				delivered[to] = append(delivered[to], e.val[slot])
+				done++
+				continue
+			}
+			e.dist[slot] = nd
+			if e.dir[slot] <= 1 {
+				d := int(e.dests[slot])
+				if m.ColOf(to) == m.ColOf(d) {
+					e.dir[slot] = rowDirAfterCol(m, to, d, wrap)
+				}
+			}
+			wl = e.enqueue(e.localOf(to, r), slot, wl)
+		}
+	}
+	if tail := wl[sorted:]; len(tail) > 0 {
+		slices.Sort(tail)
+		if sorted > 0 {
+			// Two-pointer merge of the sorted runs into the retired
+			// worklist buffer (disjoint backing, and the runs share no
+			// value: tail nodes were unoccupied when appended).
+			out := e.active[:0]
+			head := wl[:sorted]
+			i, j := 0, 0
+			for i < len(head) && j < len(tail) {
+				if head[i] < tail[j] {
+					out = append(out, head[i])
+					i++
+				} else {
+					out = append(out, tail[j])
+					j++
+				}
+			}
+			out = append(out, head[i:]...)
+			out = append(out, tail[j:]...)
+			e.scratch = wl[:0]
+			e.active = out
+			return done
+		}
+	}
+	e.scratch = e.active[:0]
+	e.active = wl
+	return done
+}
+
+// route is the healthy cycle loop shared by Route and RouteTorus.
+func (e *Engine[T]) route(dst [][]T, r mesh.Region, items [][]T, dest func(T) int, topo topology, wrap bool) (delivered [][]T, steps int64) {
+	m := e.m
+	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
+	defer func() {
+		sp.Observe(steps)
+		sp.End()
+	}()
+	if dst == nil {
+		dst = make([][]T, m.N)
+	}
+	delivered = dst
+	e.ensure(r)
+	//detlint:ignore checkederr healthy path injects with a nil fault map, so the lost count is structurally zero
+	active, _ := e.inject(delivered, r, items, dest, topo, nil)
+	sp.AddPackets(int64(len(e.val)))
+	for active > 0 {
+		steps++
+		shards, total := e.sweep(r, topo, wrap, false, steps)
+		if total == 0 {
+			panic("route: greedy router stalled with active packets")
+		}
+		active -= e.merge(delivered, r, topo, wrap, false, shards)
+	}
+	e.cleanup()
+	return delivered, steps
+}
+
+// routeFault is the fault-aware cycle loop shared by RouteFault and
+// RouteTorusFault: identical to route but consulting the machine's
+// fault map — detours, slow-link waits, the bounded retry budget
+// (16·(H+W) + 4·#packets cycles) and the wedge break after a full slow
+// period of silence. Every cycle spent detouring or waiting is a
+// charged machine step. With a nil (or empty) fault map it makes
+// bit-identical decisions to route.
+func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(T) int, topo topology, wrap bool) (delivered [][]T, steps int64, lost int) {
+	m := e.m
+	f := m.Faults()
+	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
+	defer func() {
+		sp.Observe(steps)
+		if lost > 0 {
+			sp.SetAttr("lost", int64(lost))
+		}
+		sp.End()
+	}()
+	if dst == nil {
+		dst = make([][]T, m.N)
+	}
+	delivered = dst
+	e.ensure(r)
+	active, lost := e.inject(delivered, r, items, dest, topo, f)
+	sp.AddPackets(int64(len(e.val)))
+
+	budget := int64(16*(r.H+r.W) + 4*active)
+	maxDelay := int64(f.MaxDelay())
+	idle := int64(0)
+	for active > 0 && steps < budget {
+		steps++
+		shards, total := e.sweep(r, topo, wrap, true, steps)
+		if total == 0 {
+			// Nothing moved. With slow links a packet may be waiting for
+			// its cycle; after a full slow period of silence the network
+			// is provably wedged and the survivors are lost.
+			idle++
+			if idle >= maxDelay {
+				break
+			}
+			continue
+		}
+		idle = 0
+		active -= e.merge(delivered, r, topo, wrap, true, shards)
+	}
+	lost += active // budget exhausted or wedged: survivors are dropped
+	e.cleanup()
+	return delivered, steps, lost
+}

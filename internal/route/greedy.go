@@ -1,25 +1,17 @@
 package route
 
 import (
-	"fmt"
-
 	"meshpram/internal/mesh"
-	"meshpram/internal/trace"
 )
 
-// gpkt is a packet in flight inside the greedy router.
+// gpkt is a packet in flight inside the actor-model router. (The
+// cycle-accurate greedy router itself stores packets in the Engine's
+// struct-of-arrays slab; see engine.go.)
 type gpkt[T any] struct {
 	val  T
 	dest int
 	seq  int32 // injection order, deterministic tie-break
-	from int32 // previous hop (-1 at injection); only the fault-aware
-	// router reads it, to demote the detour that undoes the last move
-}
-
-// garrival is a packet crossing into a new processor this cycle.
-type garrival[T any] struct {
-	to int
-	pk gpkt[T]
+	from int32 // previous hop (-1 at injection)
 }
 
 // topology abstracts the link structure the greedy router moves packets
@@ -108,8 +100,13 @@ func (t torusTopo) dist(p, dest int) int {
 //
 // It returns the delivered items per processor and the number of cycles
 // (= machine steps) the routing took.
+//
+// GreedyRoute and the other package-level entry points below are
+// one-shot conveniences over route.Engine; hot loops should hold a
+// persistent Engine instead so queue and arrival storage is reused
+// across calls.
 func GreedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(nil, m, r, items, dest, meshTopo{m})
+	return NewEngine[T](m).Route(nil, r, items, dest)
 }
 
 // GreedyRouteInto is GreedyRoute delivering into a caller-provided
@@ -117,124 +114,20 @@ func GreedyRoute[T any](m *mesh.Machine, r mesh.Region, items [][]T, dest func(T
 // loops can reuse arena memory instead of reallocating; dst may be nil,
 // which allocates as GreedyRoute does.
 func GreedyRouteInto[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(dst, m, r, items, dest, meshTopo{m})
+	return NewEngine[T](m).Route(dst, r, items, dest)
 }
 
 // GreedyRouteTorus is GreedyRoute on the full machine with wrap-around
 // links (the torus extension; experiment E16). The region is always the
 // whole mesh — wrap paths cannot be confined to a submesh.
 func GreedyRouteTorus[T any](m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(nil, m, m.Full(), items, dest, torusTopo{m})
+	return NewEngine[T](m).RouteTorus(nil, items, dest)
 }
 
 // GreedyRouteTorusInto is GreedyRouteTorus with a reusable delivery
 // buffer (see GreedyRouteInto).
 func GreedyRouteTorusInto[T any](dst [][]T, m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64) {
-	return greedyRoute(dst, m, m.Full(), items, dest, torusTopo{m})
-}
-
-func greedyRoute[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int, topo topology) (delivered [][]T, steps int64) {
-	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
-	defer func() {
-		sp.Observe(steps)
-		sp.End()
-	}()
-	if dst == nil {
-		dst = make([][]T, m.N)
-	}
-	delivered = dst
-	// Queues are indexed region-locally so a routing call inside a small
-	// submesh allocates proportional to the submesh, not the machine.
-	local := func(p int) int { return (m.RowOf(p)-r.R0)*r.W + (m.ColOf(p) - r.C0) }
-	queues := make([][]gpkt[T], r.H*r.W)
-	var seq int32
-	active := 0
-	for row := r.R0; row < r.R0+r.H; row++ {
-		for col := r.C0; col < r.C0+r.W; col++ {
-			p := m.IDOf(row, col)
-			for _, v := range items[p] {
-				d := dest(v)
-				if !r.Contains(m, d) {
-					panic(fmt.Sprintf("route: destination %d outside region %v", d, r))
-				}
-				if d == p {
-					delivered[p] = append(delivered[p], v)
-					continue
-				}
-				queues[local(p)] = append(queues[local(p)], gpkt[T]{val: v, dest: d, seq: seq})
-				seq++
-				active++
-			}
-			items[p] = items[p][:0]
-		}
-	}
-	sp.AddPackets(int64(seq))
-
-	// arrivals is reused across cycles to avoid per-cycle allocation;
-	// the selection sweep compacts each queue in place immediately (a
-	// packet arriving this cycle is only appended after the sweep, so
-	// simultaneity is preserved).
-	var arrivals []garrival[T]
-	for active > 0 {
-		steps++
-		arrivals = arrivals[:0]
-		for row := r.R0; row < r.R0+r.H; row++ {
-			for col := r.C0; col < r.C0+r.W; col++ {
-				p := m.IDOf(row, col)
-				lp := local(p)
-				q := queues[lp]
-				if len(q) == 0 {
-					continue
-				}
-				// best[dir] = queue index of chosen packet, -1 none.
-				var best [4]int
-				var bestDist [4]int
-				for d := range best {
-					best[d] = -1
-				}
-				for i := range q {
-					pk := &q[i]
-					dir, _ := topo.next(p, pk.dest)
-					dist := topo.dist(p, pk.dest)
-					if best[dir] == -1 || dist > bestDist[dir] ||
-						(dist == bestDist[dir] && pk.seq < q[best[dir]].seq) {
-						best[dir] = i
-						bestDist[dir] = dist
-					}
-				}
-				picked := 0
-				for d := 0; d < 4; d++ {
-					if best[d] >= 0 {
-						_, to := topo.next(p, q[best[d]].dest)
-						arrivals = append(arrivals, garrival[T]{to, q[best[d]]})
-						picked++
-					}
-				}
-				if picked > 0 {
-					// Compact in place, dropping the selected indexes.
-					out := q[:0]
-					for i := range q {
-						if i != best[0] && i != best[1] && i != best[2] && i != best[3] {
-							out = append(out, q[i])
-						}
-					}
-					queues[lp] = out
-				}
-			}
-		}
-		if len(arrivals) == 0 {
-			panic("route: greedy router stalled with active packets")
-		}
-		for _, a := range arrivals {
-			if a.to == a.pk.dest {
-				delivered[a.to] = append(delivered[a.to], a.pk.val)
-				active--
-			} else {
-				queues[local(a.to)] = append(queues[local(a.to)], a.pk)
-			}
-		}
-	}
-	return delivered, steps
+	return NewEngine[T](m).RouteTorus(dst, items, dest)
 }
 
 // nextHop keeps the historical package-internal entry point used by the

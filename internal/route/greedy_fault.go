@@ -2,11 +2,10 @@ package route
 
 import (
 	"meshpram/internal/mesh"
-	"meshpram/internal/trace"
 )
 
 // Fault-aware greedy routing: the same cycle-accurate simulation as
-// greedyRoute, but consulting the machine's static fault map
+// GreedyRoute, but consulting the machine's static fault map
 // (mesh.Machine.Faults):
 //
 //   - a packet whose preferred dimension-ordered link is dead (or leads
@@ -26,198 +25,16 @@ import (
 // bit-identical decisions to GreedyRoute: the preferred direction is
 // always usable, no packet waits, and the budget never triggers.
 //
+// These are one-shot conveniences over route.Engine (RouteFault /
+// RouteTorusFault); hot loops should hold a persistent Engine.
+//
 // GreedyRouteFaultInto routes within a region over the plain mesh.
 func GreedyRouteFaultInto[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int) (delivered [][]T, steps int64, lost int) {
-	return greedyRouteFault(dst, m, r, items, dest, meshTopo{m}, false)
+	return NewEngine[T](m).RouteFault(dst, r, items, dest)
 }
 
 // GreedyRouteTorusFaultInto is GreedyRouteFaultInto on the full machine
 // with wrap-around links.
 func GreedyRouteTorusFaultInto[T any](dst [][]T, m *mesh.Machine, items [][]T, dest func(T) int) (delivered [][]T, steps int64, lost int) {
-	return greedyRouteFault(dst, m, m.Full(), items, dest, torusTopo{m}, true)
-}
-
-func greedyRouteFault[T any](dst [][]T, m *mesh.Machine, r mesh.Region, items [][]T, dest func(T) int, topo topology, wrap bool) (delivered [][]T, steps int64, lost int) {
-	f := m.Faults()
-	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
-	defer func() {
-		sp.Observe(steps)
-		if lost > 0 {
-			sp.SetAttr("lost", int64(lost))
-		}
-		sp.End()
-	}()
-	if dst == nil {
-		dst = make([][]T, m.N)
-	}
-	delivered = dst
-	local := func(p int) int { return (m.RowOf(p)-r.R0)*r.W + (m.ColOf(p) - r.C0) }
-	queues := make([][]gpkt[T], r.H*r.W)
-	var seq int32
-	active := 0
-	for row := r.R0; row < r.R0+r.H; row++ {
-		for col := r.C0; col < r.C0+r.W; col++ {
-			p := m.IDOf(row, col)
-			for _, v := range items[p] {
-				d := dest(v)
-				if !r.Contains(m, d) {
-					panic("route: destination outside region")
-				}
-				if f.NodeDead(d) {
-					lost++ // undeliverable: the destination is dead
-					continue
-				}
-				if d == p {
-					delivered[p] = append(delivered[p], v)
-					continue
-				}
-				queues[local(p)] = append(queues[local(p)], gpkt[T]{val: v, dest: d, seq: seq, from: -1})
-				seq++
-				active++
-			}
-			items[p] = items[p][:0]
-		}
-	}
-	sp.AddPackets(int64(seq))
-
-	// neighborOf returns the processor one hop in direction dir
-	// (0=-col, 1=+col, 2=-row, 3=+row — the healthy router's link ids),
-	// or ok=false when the hop leaves the region (wrap allowed on the
-	// torus, where the region is the full machine).
-	side := m.Side
-	neighborOf := func(p, dir int) (int, bool) {
-		row, col := m.RowOf(p), m.ColOf(p)
-		switch dir {
-		case 0:
-			col--
-		case 1:
-			col++
-		case 2:
-			row--
-		default:
-			row++
-		}
-		if wrap {
-			return m.IDOf((row+side)%side, (col+side)%side), true
-		}
-		if row < r.R0 || row >= r.R0+r.H || col < r.C0 || col >= r.C0+r.W {
-			return 0, false
-		}
-		return m.IDOf(row, col), true
-	}
-
-	// usable reports whether the p→to link may carry a packet this
-	// cycle: alive on both ends, not dead, and — for slow links — on a
-	// cycle divisible by the slow factor.
-	usable := func(p, to int, cycle int64) bool {
-		if !f.LinkUp(p, to) {
-			return false
-		}
-		return cycle%int64(f.LinkDelay(p, to)) == 0
-	}
-
-	budget := int64(16*(r.H+r.W) + 4*active)
-	maxDelay := int64(f.MaxDelay())
-
-	var arrivals []garrival[T]
-	idle := int64(0)
-	for active > 0 && steps < budget {
-		steps++
-		arrivals = arrivals[:0]
-		for row := r.R0; row < r.R0+r.H; row++ {
-			for col := r.C0; col < r.C0+r.W; col++ {
-				p := m.IDOf(row, col)
-				lp := local(p)
-				q := queues[lp]
-				if len(q) == 0 {
-					continue
-				}
-				var best [4]int
-				var bestDist [4]int
-				for d := range best {
-					best[d] = -1
-				}
-				for i := range q {
-					pk := &q[i]
-					// Preferred healthy hop first (bit-identical when up),
-					// then detour candidates by (distance, direction). The
-					// hop that undoes the previous move is a last resort —
-					// otherwise a packet blocked broadside ping-pongs
-					// between two nodes until the budget kills it.
-					dir, to := topo.next(p, pk.dest)
-					if !usable(p, to, steps) {
-						dir = -1
-						bd := 0
-						back := -1
-						for cand := 0; cand < 4; cand++ {
-							to2, ok := neighborOf(p, cand)
-							if !ok || !usable(p, to2, steps) {
-								continue
-							}
-							if int32(to2) == pk.from {
-								back = cand
-								continue
-							}
-							d2 := topo.dist(to2, pk.dest)
-							if dir == -1 || d2 < bd {
-								dir, bd = cand, d2
-							}
-						}
-						if dir == -1 {
-							dir = back
-						}
-						if dir == -1 {
-							continue // blocked this cycle; wait
-						}
-					}
-					dist := topo.dist(p, pk.dest)
-					if best[dir] == -1 || dist > bestDist[dir] ||
-						(dist == bestDist[dir] && pk.seq < q[best[dir]].seq) {
-						best[dir] = i
-						bestDist[dir] = dist
-					}
-				}
-				picked := 0
-				for d := 0; d < 4; d++ {
-					if best[d] >= 0 {
-						to, _ := neighborOf(p, d)
-						pk := q[best[d]]
-						pk.from = int32(p)
-						arrivals = append(arrivals, garrival[T]{to, pk})
-						picked++
-					}
-				}
-				if picked > 0 {
-					out := q[:0]
-					for i := range q {
-						if i != best[0] && i != best[1] && i != best[2] && i != best[3] {
-							out = append(out, q[i])
-						}
-					}
-					queues[lp] = out
-				}
-			}
-		}
-		if len(arrivals) == 0 {
-			// Nothing moved. With slow links a packet may be waiting for
-			// its cycle; after a full slow period of silence the network
-			// is provably wedged and the survivors are lost.
-			idle++
-			if idle >= maxDelay {
-				break
-			}
-			continue
-		}
-		idle = 0
-		for _, a := range arrivals {
-			if a.to == a.pk.dest {
-				delivered[a.to] = append(delivered[a.to], a.pk.val)
-				active--
-			} else {
-				queues[local(a.to)] = append(queues[local(a.to)], a.pk)
-			}
-		}
-	}
-	lost += active // budget exhausted or wedged: survivors are dropped
-	return delivered, steps, lost
+	return NewEngine[T](m).RouteTorusFault(dst, items, dest)
 }

@@ -25,7 +25,8 @@
 package route
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"meshpram/internal/mesh"
 	"meshpram/internal/trace"
@@ -165,7 +166,7 @@ func SortSnakeFast[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T
 			items[p] = items[p][:0]
 		}
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
+	slices.SortStableFunc(all, func(a, b elem[T]) int { return cmp.Compare(a.key, b.key) })
 	out = items
 	for rank, e := range all {
 		p := r.ProcAtSnake(m, rank/L)
@@ -188,7 +189,7 @@ func loadBlocks[T any](m *mesh.Machine, r mesh.Region, items [][]T, key Key[T], 
 				}
 				b = append(b, elem[T]{k, v})
 			}
-			sort.SliceStable(b, func(i, j int) bool { return b[i].key < b[j].key })
+			slices.SortStableFunc(b, func(x, y elem[T]) int { return cmp.Compare(x.key, y.key) })
 			var zero T
 			for len(b) < L {
 				b = append(b, elem[T]{MaxKey, zero})

@@ -112,7 +112,9 @@ func SortAlgo(a route.SortAlgo) Option {
 }
 
 // Workers sets the mesh engine parallelism (0 = GOMAXPROCS, ≤1
-// sequential).
+// sequential). The greedy routing engine shards its selection sweep
+// across the same width; delivered traffic is bit-identical at every
+// width, so this is a throughput knob only.
 func Workers(n int) Option {
 	return func(c *Config) error { c.Core.Workers = n; return nil }
 }
