@@ -31,6 +31,7 @@ import (
 
 	"meshpram/internal/core"
 	"meshpram/internal/pram"
+	"meshpram/internal/route"
 	"meshpram/internal/sim"
 	"meshpram/internal/stats"
 	"meshpram/internal/trace"
@@ -49,6 +50,7 @@ func main() {
 	schedule := flag.String("fault-schedule", "", "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
 	repairFlag := flag.String("repair", "off", "self-healing scrub policy: off | eager | lazy")
 	retry := flag.Int("retry", 0, "checkpointed-retry budget per PRAM step (0 = off)")
+	engine := flag.String("engine", "event", "routing engine: event (epoch-skip) | cycle (reference); results are bit-identical")
 	showTrace := flag.Bool("trace", false, "print the cost-ledger tree of the last PRAM step")
 	seed := flag.Int64("seed", 1, "input seed")
 	flag.Parse()
@@ -94,9 +96,21 @@ func main() {
 		}
 	}
 
+	var mode route.EngineMode
+	switch *engine {
+	case "event":
+		mode = route.ModeEvent
+	case "cycle":
+		mode = route.ModeCycle
+	default:
+		fmt.Fprintf(os.Stderr, "pramsim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
 	cfg, err := sim.New(
 		sim.Side(*side), sim.Q(*q), sim.D(*d), sim.K(*k),
 		sim.Workers(*workers),
+		sim.EngineMode(mode),
 		sim.FaultSpec(*faults),
 		sim.FaultScheduleSpec(*schedule),
 		sim.Repair(repair),

@@ -91,6 +91,11 @@ func NewNoReplication(side, vars int) (*NoReplication, error) {
 	}, nil
 }
 
+// SetEngineMode selects the routing engine's execution strategy
+// (route.ModeEvent default; route.ModeCycle forces the cycle-stepped
+// reference loop). Results are bit-identical in both modes.
+func (b *NoReplication) SetEngineMode(m route.EngineMode) { b.eng.SetMode(m) }
+
 // Home returns the processor storing variable v.
 func (b *NoReplication) Home(v int) int {
 	if b.cw != nil {
@@ -232,6 +237,11 @@ type RandomMOS struct {
 	fwd  [][]rmPkt
 	ret  [][]rmPkt
 }
+
+// SetEngineMode selects the routing engine's execution strategy
+// (route.ModeEvent default; route.ModeCycle forces the cycle-stepped
+// reference loop). Results are bit-identical in both modes.
+func (b *RandomMOS) SetEngineMode(m route.EngineMode) { b.eng.SetMode(m) }
 
 type tsCell struct {
 	val Word

@@ -91,6 +91,14 @@ type Config struct {
 	// Workers configures the mesh engine parallelism (0 = GOMAXPROCS,
 	// ≤1 sequential).
 	Workers int
+	// EngineMode selects the routing engine's execution strategy
+	// (route.ModeEvent by default): the discrete-event engine
+	// fast-forwards contention-free stretches, bit-identical to the
+	// cycle-stepped reference on every observable output — delivered
+	// contents, charged cycles, lost counts, ledger spans, snapshots.
+	// route.ModeCycle forces the reference loop (diagnostics,
+	// equivalence tests).
+	EngineMode route.EngineMode
 	// Faults installs a static fault map (internal/fault): dead or slow
 	// nodes, links and memory modules. Copy selection then avoids dead
 	// modules, routing detours around dead links with a bounded retry
@@ -291,7 +299,7 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 	}
 	ld := trace.New()
 	m.AttachLedger(ld)
-	return &Simulator{
+	sim := &Simulator{
 		S:      s,
 		M:      m,
 		cfg:    cfg,
@@ -300,7 +308,12 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 		eng:    route.NewEngine[pkt](m),
 		store:  make([]map[int64]cell, m.N),
 		faults: live,
-	}, nil
+	}
+	sim.eng.SetMode(cfg.EngineMode)
+	if !cfg.Schedule.Empty() {
+		sim.eng.SetHorizonSource(scheduleHorizon{sim})
+	}
+	return sim, nil
 }
 
 // MustNew is New but panics on error.

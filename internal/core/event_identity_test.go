@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"meshpram/internal/fault"
+	"meshpram/internal/hmos"
+	"meshpram/internal/route"
+)
+
+// The event-skip routing engine must be invisible at the protocol
+// level: a full simulation run under route.ModeEvent produces, step by
+// step, the same read results, the same StepStats, the same fault
+// reports and — after the run — the same snapshot bytes as the
+// cycle-stepped reference. This is the end-to-end half of the
+// bit-identity contract (the packet-level half lives in
+// internal/route/event_identity_test.go).
+
+// eventMatrixTrace is everything observable from one simulation run.
+type eventMatrixTrace struct {
+	words    [][]Word
+	stats    []*StepStats
+	reports  []string
+	snapshot []byte
+}
+
+// runEventMatrix executes a seeded mixed read/write workload and
+// captures every observable output.
+func runEventMatrix(t *testing.T, mode route.EngineMode, torus bool, fm *fault.Map, sch *fault.Schedule, workers int) eventMatrixTrace {
+	t.Helper()
+	cfg := Config{
+		Workers:    workers,
+		Torus:      torus,
+		EngineMode: mode,
+		Schedule:   sch,
+		Repair:     RepairEager,
+	}
+	if fm != nil {
+		cfg.Faults = fm.Clone()
+	}
+	s, err := New(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := s.Scheme().Vars()
+	rng := rand.New(rand.NewSource(99))
+	var tr eventMatrixTrace
+	for step := 0; step < 8; step++ {
+		ops := make([]Op, 6)
+		vars := rng.Perm(nv)[:len(ops)]
+		for i := range ops {
+			ops[i] = Op{Origin: rng.Intn(s.M.N), Var: vars[i]}
+			if rng.Intn(2) == 0 {
+				ops[i].IsWrite = true
+				ops[i].Value = Word(rng.Intn(1 << 20))
+			}
+		}
+		words, stats, err := s.StepChecked(ops)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		tr.words = append(tr.words, append([]Word(nil), words...))
+		tr.stats = append(tr.stats, stats)
+		tr.reports = append(tr.reports, s.LastReport().String())
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	tr.snapshot = buf.Bytes()
+	return tr
+}
+
+// requireSameTrace compares two runs observable-by-observable so a
+// divergence names the first differing step and output kind.
+func requireSameTrace(t *testing.T, label string, cyc, evt eventMatrixTrace) {
+	t.Helper()
+	for i := range cyc.words {
+		if !reflect.DeepEqual(cyc.words[i], evt.words[i]) {
+			t.Errorf("%s: step %d read results diverge: cycle %v, event %v",
+				label, i, cyc.words[i], evt.words[i])
+		}
+		if !reflect.DeepEqual(cyc.stats[i], evt.stats[i]) {
+			t.Errorf("%s: step %d stats diverge:\n cycle %+v\n event %+v",
+				label, i, cyc.stats[i], evt.stats[i])
+		}
+		if cyc.reports[i] != evt.reports[i] {
+			t.Errorf("%s: step %d fault report diverges:\n cycle %s\n event %s",
+				label, i, cyc.reports[i], evt.reports[i])
+		}
+	}
+	if !bytes.Equal(cyc.snapshot, evt.snapshot) {
+		t.Errorf("%s: snapshot bytes diverge (%d vs %d bytes)",
+			label, len(cyc.snapshot), len(evt.snapshot))
+	}
+}
+
+// staticEventFaults is the static-fault corner of the matrix: a dead
+// module, a dead link and a slow link, all chosen away from each other.
+func staticEventFaults() *fault.Map {
+	return fault.NewMap(9).
+		KillModule(3*9+4).
+		KillLink(5*9+1, 5*9+2).
+		SlowLink(1*9+6, 2*9+6, 3)
+}
+
+// churnEventSchedule is the dynamic corner: a module dies mid-run, a
+// link slows, another dies and later heals.
+func churnEventSchedule() *fault.Schedule {
+	return fault.NewSchedule(9).
+		At(2, fault.EvKillModule, 3*9+4).
+		At(3, fault.EvSlowLink, 1*9+6, 2*9+6, 3).
+		At(4, fault.EvKillLink, 5*9+1, 5*9+2).
+		At(6, fault.EvHealLink, 5*9+1, 5*9+2)
+}
+
+// TestEventCycleSimulationIdentity is the acceptance matrix:
+// {mesh, torus} × {fault-free, static faults, churn schedule} ×
+// workers {1, 4, 8}, asserting identical delivered contents (read
+// results), charged cycles (StepStats), lost counts (fault reports)
+// and snapshot bytes between route.ModeCycle and route.ModeEvent.
+func TestEventCycleSimulationIdentity(t *testing.T) {
+	faultCases := []struct {
+		name string
+		fm   func() *fault.Map
+		sch  func() *fault.Schedule
+	}{
+		{"healthy", nil, nil},
+		{"static", staticEventFaults, nil},
+		{"churn", nil, churnEventSchedule},
+	}
+	for _, torus := range []bool{false, true} {
+		for _, fc := range faultCases {
+			for _, workers := range []int{1, 4, 8} {
+				label := fmt.Sprintf("torus=%v/%s/workers=%d", torus, fc.name, workers)
+				var fm *fault.Map
+				var sch *fault.Schedule
+				if fc.fm != nil {
+					fm = fc.fm()
+				}
+				if fc.sch != nil {
+					sch = fc.sch()
+				}
+				cyc := runEventMatrix(t, route.ModeCycle, torus, fm, sch, workers)
+				evt := runEventMatrix(t, route.ModeEvent, torus, fm, sch, workers)
+				requireSameTrace(t, label, cyc, evt)
+			}
+		}
+	}
+}

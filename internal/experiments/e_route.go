@@ -48,7 +48,8 @@ func routeInstance(kind string, m *mesh.Machine, seed int64) [][]int {
 type routeCell struct {
 	nsOp     int64
 	allocsOp int64
-	cycles   int64
+	cycles   int64 // charged mesh cycles (mode-invariant)
+	executed int64 // physically executed iterations (≤ cycles)
 }
 
 // measureRoute times iters steady-state calls of a persistent engine on
@@ -80,6 +81,7 @@ func measureRoute(kind string, side, workers, iters int, seed int64) routeCell {
 		if it >= 0 {
 			cell.nsOp += time.Since(start).Nanoseconds()
 			cell.cycles = cycles
+			cell.executed = eng.Executed()
 		}
 		for p := range dst {
 			dst[p] = dst[p][:0]
@@ -116,14 +118,18 @@ func RunRoute(w io.Writer, cfg Config) error {
 		)
 	}
 	var tb stats.Table
-	tb.Add("instance", "side", "workers", "ns/op", "allocs/op", "route cycles")
+	tb.Add("instance", "side", "workers", "ns/op", "allocs/op", "cycles charged", "cycles executed")
 	for _, rk := range rows {
 		iters := 3
 		if rk.side >= 81 {
 			iters = 2
 		}
 		cell := measureRoute(rk.kind, rk.side, rk.workers, iters, cfg.Seed)
-		tb.Add(rk.kind, rk.side, rk.workers, cell.nsOp, cell.allocsOp, cell.cycles)
+		if cell.executed > cell.cycles {
+			return fmt.Errorf("route %s side=%d workers=%d: executed %d > charged %d cycles",
+				rk.kind, rk.side, rk.workers, cell.executed, cell.cycles)
+		}
+		tb.Add(rk.kind, rk.side, rk.workers, cell.nsOp, cell.allocsOp, cell.cycles, cell.executed)
 		key := fmt.Sprintf("%s-%d", rk.kind, rk.side)
 		if rk.workers > 1 {
 			key = fmt.Sprintf("%s-workers%d", key, rk.workers)
@@ -131,6 +137,7 @@ func RunRoute(w io.Writer, cfg Config) error {
 		cfg.Report.SetPhase(key+"-ns-op", cell.nsOp)
 		cfg.Report.SetPhase(key+"-allocs-op", cell.allocsOp)
 		cfg.Report.SetPhase(key+"-cycles", cell.cycles)
+		cfg.Report.SetPhase(key+"-cycles-executed", cell.executed)
 		if rk.kind == "dense" && rk.side == 81 && rk.workers == 1 {
 			cfg.Report.SetSteps(cell.cycles)
 		}

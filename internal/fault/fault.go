@@ -34,6 +34,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -311,6 +312,89 @@ func (f *Map) MaxDelay() int {
 		}
 	}
 	return d
+}
+
+// LinkHazard is one mesh (or wrap) edge a router must not treat as a
+// free-running corridor: Delay == 0 means the edge is down (a dead
+// link, or an edge incident to a dead node); Delay ≥ 2 is the slow
+// factor of a slow link. The event-driven engine consumes these to
+// bound its epoch skips (DESIGN.md §11).
+type LinkHazard struct {
+	A, B  int // endpoints, A < B
+	Delay int
+}
+
+// AppendLinkHazards appends every hazardous edge to buf (truncated
+// first) in ascending (A, B) order: dead links, the (wrap-counting)
+// edges incident to each dead node, and slow links. A dead edge
+// shadows its slow factor; duplicates are merged. Nil-safe.
+func (f *Map) AppendLinkHazards(buf []LinkHazard) []LinkHazard {
+	out := buf[:0]
+	if f == nil || f.faults == 0 {
+		return out
+	}
+	keys := make([]linkKey, 0, len(f.deadLink)+len(f.slowLink))
+	for k := range f.deadLink {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, cmpLinkKey)
+	for _, k := range keys {
+		out = append(out, LinkHazard{A: k.a, B: k.b})
+	}
+	s := f.side
+	for p, dead := range f.deadNode {
+		if !dead || s < 2 {
+			continue
+		}
+		pr, pc := p/s, p%s
+		nbs := [4]int{
+			pr*s + (pc+s-1)%s, pr*s + (pc+1)%s,
+			((pr+s-1)%s)*s + pc, ((pr+1)%s)*s + pc,
+		}
+		for _, q := range nbs {
+			a, b := p, q
+			if a > b {
+				a, b = b, a
+			}
+			out = append(out, LinkHazard{A: a, B: b})
+		}
+	}
+	keys = keys[:0]
+	for k := range f.slowLink {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, cmpLinkKey)
+	for _, k := range keys {
+		out = append(out, LinkHazard{A: k.a, B: k.b, Delay: f.slowLink[k]})
+	}
+	// Canonical order and dedup: dead (Delay 0) sorts before slow for
+	// the same edge, so keeping the first entry per edge lets dead
+	// shadow slow.
+	slices.SortFunc(out, func(x, y LinkHazard) int {
+		if x.A != y.A {
+			return x.A - y.A
+		}
+		if x.B != y.B {
+			return x.B - y.B
+		}
+		return x.Delay - y.Delay
+	})
+	w := 0
+	for i, h := range out {
+		if i > 0 && h.A == out[w-1].A && h.B == out[w-1].B {
+			continue
+		}
+		out[w] = h
+		w++
+	}
+	return out[:w]
+}
+
+func cmpLinkKey(x, y linkKey) int {
+	if x.a != y.a {
+		return x.a - y.a
+	}
+	return x.b - y.b
 }
 
 // Counts returns the number of dead nodes, dead links, dead modules

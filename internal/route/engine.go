@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"runtime"
 	"slices"
 	"sync"
 
@@ -36,12 +37,24 @@ import (
 //     after a fault detour, from scratch at the new position) — the
 //     per-cycle topology interface calls of the old router are gone;
 //   - with mesh workers > 1 the selection sweep runs sharded: the
-//     sorted worklist is cut into contiguous row-ordered strips, one
-//     worker each, and the per-worker arrival buffers are concatenated
+//     sorted worklist is cut into contiguous row-ordered strips of
+//     roughly equal queued-packet counts, dispatched to a persistent
+//     worker pool, and the per-worker arrival buffers are concatenated
 //     in strip order. Selection is node-local and the strip order
 //     equals the sequential sweep order, so the parallel sweep is
 //     bit-identical to the sequential one by construction (DESIGN.md
 //     §10).
+//
+// In the default ModeEvent the engine is a discrete-event simulator of
+// that cycle machine (DESIGN.md §11): whenever the last sweep saw no
+// contention it computes the next-event horizon — the earliest future
+// cycle at which any packet could change another packet's behaviour
+// (a phase collision on a shared corridor, a fault hazard, an external
+// schedule event, the retry budget) — and fast-forwards every in-flight
+// packet along its cached (dir, dist) trajectory by k hops in one
+// batch, charging k cycles at once. Charged cycles, delivered contents
+// and delivery order are bit-identical to ModeCycle; only the executed
+// iteration count (Executed, and the ledger's Exec counter) differs.
 //
 // An Engine is not safe for concurrent use; give each goroutine its
 // own. The zero value is not usable — construct with NewEngine.
@@ -53,6 +66,7 @@ type Engine[T any] struct {
 	// historical seq order.
 	val   []T
 	dests []int32
+	dcol  []int32 // cached destination column of each slot
 	dist  []int32
 	dir   []int8
 	from  []int32 // previous hop (-1 at injection); fault path only
@@ -62,8 +76,79 @@ type Engine[T any] struct {
 	active  []int32   // worklist: occupied region-local node ids
 	scratch []int32   // worklist double-buffer for the rebuild pass
 
-	arr [][]engArrival // per-shard arrival buffers, merged in shard order
+	arr  [][]engArrival // per-shard arrival buffers, merged in shard order
+	csd  []bool         // per-shard contested flag for the last sweep
+	cuts []int32        // shard boundaries (worklist indexes) of the last plan
+
+	mode                       EngineMode
+	hsrc                       HorizonSource
+	vbkt                       [][]uint64  // per-line packed trajectory-segment buckets (2·side lines)
+	vtouch                     []int32     // lines touched by the current horizon attempt
+	trjH                       []int32     // per-slot horizontal hops, cached by skipHorizon
+	trjV                       []int8      // per-slot vertical direction, cached by skipHorizon
+	delq                       []engDel    // batched deliveries, sorted into cycle order
+	haz                        []engHazard // fault hazards of the current routeFault call
+	hbuf                       []fault.LinkHazard
+	execs                      int64 // executed iterations (sweeps + batches) of the last call
+	dbgBatch, dbgSweep, dbgTry int64
+
+	lastContested bool
+	// wlUnsorted marks a worklist left in first-occurrence order by a
+	// batch advance. Only the selection sweep observes worklist order
+	// (sweep order and arrival concatenation); batches read values,
+	// never order, so sorting is deferred until the next sweep.
+	wlUnsorted bool
+
+	jobs   chan engJob[T] // persistent sweep worker pool
+	pooled int
+	wg     sync.WaitGroup
 }
+
+// EngineMode selects how the engine spends wall-clock iterations; both
+// modes simulate the identical cycle machine.
+type EngineMode uint8
+
+const (
+	// ModeEvent (the default) fast-forwards contention-free stretches:
+	// executed iterations ≤ charged cycles, results bit-identical.
+	ModeEvent EngineMode = iota
+	// ModeCycle executes every charged cycle as one worklist sweep —
+	// the reference semantics the event mode is validated against.
+	ModeCycle
+)
+
+// HorizonSource bounds the event engine's epoch skips with external
+// events the engine cannot see (e.g. a fault-schedule cursor).
+type HorizonSource interface {
+	// NextEventIn returns how many further cycles may safely be batched
+	// before the next external event, given the cycles already charged
+	// in the current routing call. Non-positive disables batching for
+	// the current attempt; the engine then advances cycle by cycle and
+	// asks again.
+	NextEventIn(elapsed int64) int64
+}
+
+// FixedHorizon is a HorizonSource capping every skip at a constant
+// number of cycles (tests and diagnostics).
+type FixedHorizon int64
+
+// NextEventIn implements HorizonSource.
+func (h FixedHorizon) NextEventIn(int64) int64 { return int64(h) }
+
+// SetMode selects the execution mode for subsequent calls.
+func (e *Engine[T]) SetMode(m EngineMode) { e.mode = m }
+
+// Mode returns the engine's execution mode.
+func (e *Engine[T]) Mode() EngineMode { return e.mode }
+
+// SetHorizonSource installs an external bound on epoch skips (nil
+// removes it). The source is consulted on every batch attempt.
+func (e *Engine[T]) SetHorizonSource(h HorizonSource) { e.hsrc = h }
+
+// Executed returns the physically executed iterations (sweeps plus
+// epoch-skip batches) of the most recent routing call. It is ≤ the
+// call's charged cycle count, with equality in ModeCycle.
+func (e *Engine[T]) Executed() int64 { return e.execs }
 
 // engArrival is one packet crossing into a new processor this cycle.
 type engArrival struct {
@@ -76,11 +161,66 @@ type engArrival struct {
 	detour bool
 }
 
-// engShardMin is the minimum worklist length per parallel shard; below
-// it the sweep stays sequential (shard overhead would dominate).
-const engShardMin = 64
+// A trajectory segment is one straight stretch of a packet's remaining
+// path. Segments are bucketed per corridor line (column × vertical
+// direction) and keyed within a line by phase (position ∓ time), so
+// two segments share a (line, key) exactly when their packets would
+// occupy the same node at the same time moving in the same direction
+// (the phase argument of DESIGN.md §11). A segment is packed into one
+// uint64 — phase<<24 | entry<<12 | exit — so sorting a line's bucket
+// into (phase, entry) order is a comparator-free slices.Sort. The
+// 12-bit offset fields bound the mesh side at engMaxEventSide.
+const engMaxEventSide = 1 << 11
 
-// NewEngine creates a reusable greedy router for the machine.
+func engSeg(key uint64, entry, exit int32) uint64 {
+	return key<<24 | uint64(entry)<<12 | uint64(exit)
+}
+
+// engDel is one delivery inside an epoch-skip batch, sorted into the
+// exact order the cycle-stepped engine would append it: by arrival
+// cycle, then sender worklist position, then the sender's outgoing
+// direction, then slot id.
+type engDel struct {
+	t      int32 // arrival offset within the batch
+	sender int32 // region-local id of the final hop's sender
+	slot   int32
+	fdir   int8 // direction of the final hop
+}
+
+// engHazard is a fault.LinkHazard with pre-split coordinates.
+type engHazard struct {
+	ar, ac, br, bc int32
+	delay          int32 // 0 = dead edge
+}
+
+// engJob is one sweep strip dispatched to the persistent worker pool.
+// It carries the engine pointer so pool goroutines hold only the job
+// channel between sweeps — an abandoned engine stays collectible and
+// its finalizer retires the pool.
+type engJob[T any] struct {
+	e            *Engine[T]
+	w, lo, hi    int
+	r            mesh.Region
+	topo         topology
+	wrap, faulty bool
+	cycle        int64
+	wg           *sync.WaitGroup
+}
+
+func engWorker[T any](jobs <-chan engJob[T]) {
+	for j := range jobs {
+		j.e.sweepRange(j.w, j.lo, j.hi, j.r, j.topo, j.wrap, j.faulty, j.cycle)
+		j.wg.Done()
+	}
+}
+
+// engShardPackets is the minimum queued-packet count per parallel
+// shard; below it the sweep stays sequential (dispatch overhead would
+// dominate the node-local selection work).
+const engShardPackets = 192
+
+// NewEngine creates a reusable greedy router for the machine, in the
+// event-driven execution mode.
 func NewEngine[T any](m *mesh.Machine) *Engine[T] {
 	return &Engine[T]{m: m}
 }
@@ -129,9 +269,12 @@ func (e *Engine[T]) ensure(r mesh.Region) {
 	}
 	e.val = e.val[:0]
 	e.dests = e.dests[:0]
+	e.dcol = e.dcol[:0]
 	e.dist = e.dist[:0]
 	e.dir = e.dir[:0]
 	e.from = e.from[:0]
+	e.execs = 0
+	e.wlUnsorted = false
 }
 
 // cleanup truncates every touched queue and clears the worklist, so the
@@ -270,6 +413,7 @@ func (e *Engine[T]) inject(delivered [][]T, r mesh.Region, items [][]T, dest fun
 				dr, _ := topo.next(p, d)
 				e.val = append(e.val, v)
 				e.dests = append(e.dests, int32(d))
+				e.dcol = append(e.dcol, int32(m.ColOf(d)))
 				e.dist = append(e.dist, int32(topo.dist(p, d)))
 				e.dir = append(e.dir, int8(dr))
 				e.from = append(e.from, -1)
@@ -284,21 +428,39 @@ func (e *Engine[T]) inject(delivered [][]T, r mesh.Region, items [][]T, dest fun
 }
 
 // shardPlan returns how many parallel shards this cycle's sweep uses:
-// 1 (sequential) unless the machine's engine width and the worklist
-// length both warrant sharding.
-func (e *Engine[T]) shardPlan() int {
+// 1 (sequential) unless the machine's engine width and the queued
+// packet count both warrant sharding.
+func (e *Engine[T]) shardPlan(queued int) int {
 	wk := e.m.Workers()
 	if wk <= 1 {
 		return 1
 	}
-	s := len(e.active) / engShardMin
+	s := queued / engShardPackets
 	if s > wk {
 		s = wk
+	}
+	if s > len(e.active) {
+		s = len(e.active)
 	}
 	if s < 2 {
 		return 1
 	}
 	return s
+}
+
+// ensurePool grows the persistent sweep worker pool to n goroutines.
+// Workers hold only the job channel, never the engine, so an abandoned
+// engine remains collectible; its finalizer closes the channel and the
+// workers exit.
+func (e *Engine[T]) ensurePool(n int) {
+	if e.jobs == nil {
+		e.jobs = make(chan engJob[T], 64)
+		runtime.SetFinalizer(e, func(ee *Engine[T]) { close(ee.jobs) })
+	}
+	for e.pooled < n {
+		go engWorker(e.jobs)
+		e.pooled++
+	}
 }
 
 // sweep runs one selection sweep over the sorted worklist — sequential
@@ -307,47 +469,79 @@ func (e *Engine[T]) shardPlan() int {
 // shard's queues and arrival buffer, so shards race on nothing; the
 // concatenation of the shard buffers equals the sequential arrival
 // order because the worklist is sorted and shards are contiguous.
-// Returns (shards, total arrivals).
-func (e *Engine[T]) sweep(r mesh.Region, topo topology, wrap, faulty bool, cycle int64) (int, int) {
-	shards := e.shardPlan()
+// Shard boundaries are cut at roughly equal cumulative queue lengths
+// (not node counts), so skewed loads (hotspots) still balance. Shards
+// ≥ 1 run on the persistent pool; shard 0 runs on the caller.
+// Returns (shards, total arrivals) and records the contested flag.
+func (e *Engine[T]) sweep(r mesh.Region, topo topology, wrap, faulty bool, cycle int64, queued int) (int, int) {
+	if e.wlUnsorted {
+		e.sortWorklist(r)
+		e.wlUnsorted = false
+	}
+	shards := e.shardPlan(queued)
 	for len(e.arr) < shards {
 		e.arr = append(e.arr, nil)
+	}
+	for len(e.csd) < shards {
+		e.csd = append(e.csd, false)
 	}
 	n := len(e.active)
 	if shards == 1 {
 		e.sweepRange(0, 0, n, r, topo, wrap, faulty, cycle)
+		e.lastContested = e.csd[0]
 		return 1, len(e.arr[0])
 	}
-	var wg sync.WaitGroup
-	chunk := (n + shards - 1) / shards
-	for w := 0; w < shards; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
+	cuts := e.cuts[:0]
+	cuts = append(cuts, 0)
+	cum, next := 0, 1
+	for i, lp := range e.active {
+		cum += len(e.queues[lp])
+		if next < shards && cum >= next*queued/shards {
+			cuts = append(cuts, int32(i+1))
+			next++
+		}
+	}
+	for len(cuts) < shards+1 {
+		cuts = append(cuts, int32(n))
+	}
+	cuts[shards] = int32(n)
+	e.cuts = cuts
+	e.ensurePool(shards - 1)
+	wg := &e.wg
+	for w := 1; w < shards; w++ {
+		lo, hi := int(cuts[w]), int(cuts[w+1])
 		if lo >= hi {
 			e.arr[w] = e.arr[w][:0]
+			e.csd[w] = false
 			continue
 		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			e.sweepRange(w, lo, hi, r, topo, wrap, faulty, cycle)
-		}(w, lo, hi)
+		e.jobs <- engJob[T]{e: e, w: w, lo: lo, hi: hi, r: r, topo: topo,
+			wrap: wrap, faulty: faulty, cycle: cycle, wg: wg}
 	}
+	e.sweepRange(0, 0, int(cuts[1]), r, topo, wrap, faulty, cycle)
 	wg.Wait()
 	total := 0
+	contested := false
 	for w := 0; w < shards; w++ {
 		total += len(e.arr[w])
+		contested = contested || e.csd[w]
 	}
+	e.lastContested = contested
 	return shards, total
 }
 
 // sweepRange performs the selection sweep for worklist[lo:hi] into
 // arrival buffer w: per occupied node, pick at most one packet per
 // outgoing direction by farthest-remaining-distance first (ties by
-// injection order = slot id), then compact the queue in place.
+// injection order = slot id), then compact the queue in place. It
+// records in e.csd[w] whether the strip saw contention — a packet left
+// behind, or any blocked/slow fault hop — which gates the event mode's
+// next horizon attempt.
 func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap, faulty bool, cycle int64) {
 	f := e.m.Faults()
 	arr := e.arr[w][:0]
+	cst := false
 	for _, lpp := range e.active[lo:hi] {
 		lp := int(lpp)
 		q := e.queues[lp]
@@ -355,6 +549,18 @@ func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap
 			continue
 		}
 		p := e.absOf(lp, r)
+		if !faulty && len(q) == 1 {
+			// Lone packet on a healthy mesh: it wins its out-link
+			// unopposed — skip the per-direction selection scan.
+			slot := q[0]
+			arr = append(arr, engArrival{
+				to:    int32(e.stepTo(p, int(e.dir[slot]), wrap)),
+				slot:  slot,
+				fromP: int32(p),
+			})
+			e.queues[lp] = q[:0]
+			continue
+		}
 		// best[dir] = queue index of chosen packet, -1 none.
 		var best [4]int
 		var bestDist [4]int32
@@ -368,6 +574,7 @@ func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap
 				// otherwise a packet blocked broadside ping-pongs
 				// between two nodes until the budget kills it.
 				if !usableLink(f, p, e.stepTo(p, d, wrap), cycle) {
+					cst = true
 					d = -1
 					var bd int32
 					back := -1
@@ -426,9 +633,13 @@ func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap
 				}
 			}
 			e.queues[lp] = out
+			if len(out) > 0 {
+				cst = true // somebody lost a (node, dir) selection
+			}
 		}
 	}
 	e.arr[w] = arr
+	e.csd[w] = cst
 }
 
 // usableLink reports whether the p→to link may carry a packet this
@@ -493,7 +704,7 @@ func (e *Engine[T]) merge(delivered [][]T, r mesh.Region, topo topology, wrap, f
 			e.dist[slot] = nd
 			if e.dir[slot] <= 1 {
 				d := int(e.dests[slot])
-				if m.ColOf(to) == m.ColOf(d) {
+				if m.ColOf(to) == int(e.dcol[slot]) {
 					e.dir[slot] = rowDirAfterCol(m, to, d, wrap)
 				}
 			}
@@ -501,41 +712,456 @@ func (e *Engine[T]) merge(delivered [][]T, r mesh.Region, topo topology, wrap, f
 		}
 	}
 	if tail := wl[sorted:]; len(tail) > 0 {
-		slices.Sort(tail)
-		if sorted > 0 {
-			// Two-pointer merge of the sorted runs into the retired
-			// worklist buffer (disjoint backing, and the runs share no
-			// value: tail nodes were unoccupied when appended).
-			out := e.active[:0]
-			head := wl[:sorted]
-			i, j := 0, 0
-			for i < len(head) && j < len(tail) {
-				if head[i] < tail[j] {
-					out = append(out, head[i])
-					i++
-				} else {
-					out = append(out, tail[j])
-					j++
-				}
-			}
-			out = append(out, head[i:]...)
-			out = append(out, tail[j:]...)
-			e.scratch = wl[:0]
-			e.active = out
+		if sorted == 0 {
+			// Full rebuild (every node drained and re-occupied): defer
+			// the sort. Only a selection sweep observes worklist order,
+			// and in event mode the next iteration is often a batch.
+			e.scratch = e.active[:0]
+			e.active = wl
+			e.wlUnsorted = true
 			return done
 		}
+		slices.Sort(tail)
+		// Two-pointer merge of the sorted runs into the retired
+		// worklist buffer (disjoint backing, and the runs share no
+		// value: tail nodes were unoccupied when appended).
+		out := e.active[:0]
+		head := wl[:sorted]
+		i, j := 0, 0
+		for i < len(head) && j < len(tail) {
+			if head[i] < tail[j] {
+				out = append(out, head[i])
+				i++
+			} else {
+				out = append(out, tail[j])
+				j++
+			}
+		}
+		out = append(out, head[i:]...)
+		out = append(out, tail[j:]...)
+		e.scratch = wl[:0]
+		e.active = out
+		return done
 	}
 	e.scratch = e.active[:0]
 	e.active = wl
 	return done
 }
 
-// route is the healthy cycle loop shared by Route and RouteTorus.
+// trajPos returns the node a free-running packet occupies t cycles from
+// now and its cached direction there. The packet sits at (row, col)
+// with cached direction d, h horizontal hops remaining toward
+// destination column dc, and vertical direction vd (valid whenever the
+// trajectory has a vertical leg, i.e. whenever t ≥ h is reachable).
+// 0 ≤ t ≤ dist; positions beyond the horizontal turn follow the
+// dimension-ordered column corridor exactly as merge would compute
+// them one hop at a time.
+func (e *Engine[T]) trajPos(row, col, dc int, d, vd int8, h, t int32, wrap bool) (int, int8) {
+	m := e.m
+	s := m.Side
+	if t < h {
+		if d == 1 {
+			col += int(t)
+			if wrap {
+				col %= s
+			}
+		} else {
+			col -= int(t)
+			if wrap {
+				col = (col%s + s) % s
+			}
+		}
+		return m.IDOf(row, col), d
+	}
+	u := int(t - h)
+	if vd == 3 {
+		row += u
+		if wrap {
+			row %= s
+		}
+	} else {
+		row -= u
+		if wrap {
+			row = (row%s + s) % s
+		}
+	}
+	return m.IDOf(row, dc), vd
+}
+
+const engInf = int32(1) << 30
+
+// skipHorizon computes the epoch-skip width available from the current
+// state: the largest k such that every queued packet can free-run k
+// hops along its cached (dir, dist) trajectory with no two packets
+// ever competing for the same (node, out-direction) and no fault
+// hazard crossed off-beat, capped by the external horizon source and
+// the remaining retry budget. Two packets on the same line moving the
+// same direction at unit speed collide iff they share a phase
+// (position ∓ time), so the earliest collision is found by bucketing
+// trajectory segments on (axis, line, direction, phase) and scanning
+// each bucket for overlapping occupancy windows — O(P log P), no
+// pairwise scan. The boolean reports whether the cap was semantic
+// (collision or hazard) — if so the caller must sweep cycle by cycle
+// until contention clears before attempting another skip.
+// sortWorklist restores region-row-major worklist order after a batch
+// or a full-rebuild merge deferred it. Event mode re-sorts the
+// worklist before almost every sweep, so this is an LSD radix sort —
+// byte-wise counting passes over node ids, stable and deterministic —
+// rather than a comparison sort; small worklists fall back to
+// slices.Sort.
+func (e *Engine[T]) sortWorklist(r mesh.Region) {
+	a := e.active
+	if len(a) < 64 {
+		slices.Sort(a)
+		return
+	}
+	if cap(e.scratch) < len(a) {
+		e.scratch = make([]int32, len(a), cap(e.active))
+	}
+	b := e.scratch[:len(a)]
+	var cnt [256]int32
+	for shift := uint(0); (r.H*r.W-1)>>shift > 0; shift += 8 {
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, v := range a {
+			cnt[uint8(v>>shift)]++
+		}
+		pos := int32(0)
+		for i, c := range cnt {
+			cnt[i] = pos
+			pos += c
+		}
+		for _, v := range a {
+			b[cnt[uint8(v>>shift)]] = v
+			cnt[uint8(v>>shift)]++
+		}
+		a, b = b, a
+	}
+	if &a[0] != &e.active[0] {
+		e.active, e.scratch = a, b[:0]
+	}
+}
+
+// resetLines clears the corridor-line buckets touched by an aborted
+// horizon attempt.
+func (e *Engine[T]) resetLines() {
+	for _, ln := range e.vtouch {
+		e.vbkt[ln] = e.vbkt[ln][:0]
+	}
+	e.vtouch = e.vtouch[:0]
+}
+
+func (e *Engine[T]) skipHorizon(r mesh.Region, wrap, faulty bool, charged, budgetRem int64) (int32, bool) {
+	m := e.m
+	s := m.Side
+	var maxDist int32
+	semCap := engInf
+	haz := e.haz
+	if n := len(e.val); cap(e.trjH) < n {
+		e.trjH = make([]int32, n)
+		e.trjV = make([]int8, n)
+	} else {
+		e.trjH = e.trjH[:n]
+		e.trjV = e.trjV[:n]
+	}
+	if len(e.vbkt) < 2*s {
+		e.vbkt = make([][]uint64, 2*s)
+	}
+	for _, lpp := range e.active {
+		lp := int(lpp)
+		q := e.queues[lp]
+		rr, c := r.R0+lp/r.W, r.C0+lp%r.W
+		if len(q) > 1 {
+			// Two packets queued at one node with the same cached
+			// direction contend for that out-link now — a t=0 conflict,
+			// no skip possible. This check also covers every possible
+			// horizontal-corridor collision: same-direction unit-speed
+			// packets share a phase only when co-located, and a
+			// horizontal leg always starts now, so two horizontal
+			// segments share a bucket key exactly when their packets
+			// share a node. Only vertical segments (whose entry times
+			// differ) need the bucket scan below.
+			var seen [4]bool
+			for _, slot := range q {
+				d := e.dir[slot]
+				if seen[d] {
+					e.resetLines()
+					return 0, true
+				}
+				seen[d] = true
+			}
+		}
+		for _, slot := range q {
+			d := e.dir[slot]
+			dist := e.dist[slot]
+			dest := int(e.dests[slot])
+			dc := int(e.dcol[slot])
+			var h int32
+			if d <= 1 {
+				if d == 1 {
+					if wrap {
+						h = int32((dc - c + s) % s)
+					} else {
+						h = int32(dc - c)
+					}
+				} else {
+					if wrap {
+						h = int32((c - dc + s) % s)
+					} else {
+						h = int32(c - dc)
+					}
+				}
+			}
+			v := dist - h
+			var vd int8
+			if d >= 2 {
+				vd = d
+			} else if v > 0 {
+				vd = rowDirAfterCol(m, m.IDOf(rr, dc), dest, wrap)
+			}
+			e.trjH[slot], e.trjV[slot] = h, vd
+			if dist > maxDist {
+				maxDist = dist
+			}
+			if v > 0 {
+				// Vertical corridor: entered at offset h in column dc
+				// at row rr; phase = row ∓ entry time.
+				var idx int
+				if vd == 3 {
+					if wrap {
+						idx = ((rr-int(h))%s + s) % s
+					} else {
+						idx = rr - int(h) + s
+					}
+				} else {
+					if wrap {
+						idx = (rr + int(h)) % s
+					} else {
+						idx = rr + int(h)
+					}
+				}
+				line := dc
+				if vd == 3 {
+					line += s
+				}
+				b := e.vbkt[line]
+				if len(b) == 0 {
+					e.vtouch = append(e.vtouch, int32(line))
+				}
+				e.vbkt[line] = append(b, engSeg(uint64(idx), h, dist-1))
+			}
+			if faulty && len(haz) > 0 {
+				if t := e.hazardCap(haz, rr, c, dc, d, vd, h, dist, charged, wrap); t < semCap {
+					semCap = t
+				}
+			}
+		}
+	}
+	for _, ln := range e.vtouch {
+		b := e.vbkt[ln]
+		e.vbkt[ln] = b[:0]
+		if len(b) < 2 {
+			continue
+		}
+		// Sort the line's segments into (phase, entry) order and scan
+		// each phase group for overlapping occupancy windows. Lines hold
+		// a handful of segments each, so the sorts stay tiny.
+		slices.Sort(b)
+		var maxExit int32
+		for i, sg := range b {
+			entry, exit := int32(sg>>12&0xfff), int32(sg&0xfff)
+			if i == 0 || sg>>24 != b[i-1]>>24 {
+				maxExit = exit
+				continue
+			}
+			if entry <= maxExit && entry < semCap {
+				semCap = entry
+			}
+			if exit > maxExit {
+				maxExit = exit
+			}
+		}
+	}
+	e.vtouch = e.vtouch[:0]
+	k := maxDist
+	if semCap < k {
+		k = semCap
+	}
+	if e.hsrc != nil {
+		if c := e.hsrc.NextEventIn(charged); c < int64(k) {
+			if c < 0 {
+				c = 0
+			}
+			k = int32(c)
+		}
+	}
+	if budgetRem < int64(k) {
+		k = int32(budgetRem)
+	}
+	return k, semCap <= k
+}
+
+func cmpDel(a, b engDel) int {
+	if a.t != b.t {
+		return int(a.t - b.t)
+	}
+	if a.sender != b.sender {
+		return int(a.sender - b.sender)
+	}
+	if a.fdir != b.fdir {
+		return int(a.fdir - b.fdir)
+	}
+	return int(a.slot - b.slot)
+}
+
+// hazardCap returns the earliest cycle offset at which the packet's
+// free-running trajectory would cross a hazardous edge that blocks it:
+// a dead edge at any offset, or a slow edge whose duty cycle misses
+// the crossing (an on-beat slow crossing costs nothing extra and does
+// not cap the skip). engInf when the trajectory clears every hazard.
+// The modular crossing-time arithmetic is shared between mesh and
+// torus: on the mesh, a wrap edge solves to an offset beyond the
+// segment length, so it never caps.
+func (e *Engine[T]) hazardCap(haz []engHazard, rr, c, dc int, d, vd int8, h, dist int32, charged int64, wrap bool) int32 {
+	s := e.m.Side
+	v := dist - h
+	cap32 := engInf
+	consider := func(t int32, delay int32) {
+		if t >= cap32 {
+			return
+		}
+		if delay == 0 || (charged+int64(t)+1)%int64(delay) != 0 {
+			cap32 = t
+		}
+	}
+	for _, hz := range haz {
+		if h > 0 && int(hz.ar) == rr && int(hz.br) == rr {
+			// Horizontal leg in row rr: does it cross edge (ac, bc)?
+			sd := 1
+			if d == 0 {
+				sd = -1
+			}
+			for o := 0; o < 2; o++ {
+				x, y := int(hz.ac), int(hz.bc)
+				if o == 1 {
+					x, y = y, x
+				}
+				if ((x+sd)%s+s)%s != y {
+					continue
+				}
+				var t int32
+				if sd > 0 {
+					t = int32(((x-c)%s + s) % s)
+				} else {
+					t = int32(((c-x)%s + s) % s)
+				}
+				if t < h {
+					consider(t, hz.delay)
+				}
+			}
+		}
+		if v > 0 && int(hz.ac) == dc && int(hz.bc) == dc {
+			// Vertical leg in column dc, entered at offset h from row rr.
+			sd := 1
+			if vd == 2 {
+				sd = -1
+			}
+			for o := 0; o < 2; o++ {
+				x, y := int(hz.ar), int(hz.br)
+				if o == 1 {
+					x, y = y, x
+				}
+				if ((x+sd)%s+s)%s != y {
+					continue
+				}
+				var tv int32
+				if sd > 0 {
+					tv = int32(((x-rr)%s + s) % s)
+				} else {
+					tv = int32(((rr-x)%s + s) % s)
+				}
+				if tv < v {
+					consider(h+tv, hz.delay)
+				}
+			}
+		}
+	}
+	return cap32
+}
+
+// batchAdvance fast-forwards every queued packet k hops along its
+// cached trajectory in one executed iteration, charging k cycles.
+// Packets with dist ≤ k are delivered in the exact order the
+// cycle-stepped engine would have appended them: sorted by arrival
+// cycle, then by the final hop's sender in worklist order, then by the
+// sender's outgoing direction (the per-node emission order of the
+// sweep), then by slot. Survivors land at their offset-k position with
+// dist reduced by k; on the fault path their backtrack pointer is set
+// to the offset-(k-1) position, exactly as k single hops would have
+// left it. Queues and the worklist are rebuilt (sorted); queue-internal
+// order is unobservable — selection depends only on (dist, slot).
+// Returns the number of packets delivered.
+func (e *Engine[T]) batchAdvance(delivered [][]T, r mesh.Region, wrap, faulty bool, k int32) int {
+	if len(e.arr) == 0 {
+		e.arr = append(e.arr, nil)
+	}
+	stage := e.arr[0][:0]
+	dq := e.delq[:0]
+	for _, lpp := range e.active {
+		lp := int(lpp)
+		q := e.queues[lp]
+		rr, c := r.R0+lp/r.W, r.C0+lp%r.W
+		for _, slot := range q {
+			d := e.dir[slot]
+			dist := e.dist[slot]
+			dc := int(e.dcol[slot])
+			// (h, vd) were cached by the skipHorizon call that computed
+			// this batch's width; the state is unchanged in between.
+			h, vd := e.trjH[slot], e.trjV[slot]
+			if dist <= k {
+				sender, sdir := e.trajPos(rr, c, dc, d, vd, h, dist-1, wrap)
+				dq = append(dq, engDel{t: dist, sender: int32(e.localOf(sender, r)),
+					slot: slot, fdir: sdir})
+				continue
+			}
+			np, ndir := e.trajPos(rr, c, dc, d, vd, h, k, wrap)
+			if faulty {
+				fp, _ := e.trajPos(rr, c, dc, d, vd, h, k-1, wrap)
+				e.from[slot] = int32(fp)
+			}
+			e.dir[slot] = ndir
+			e.dist[slot] = dist - k
+			stage = append(stage, engArrival{to: int32(np), slot: slot})
+		}
+		e.queues[lp] = q[:0]
+		e.inQ[lp] = false
+	}
+	slices.SortFunc(dq, cmpDel)
+	for _, dd := range dq {
+		dest := int(e.dests[dd.slot])
+		delivered[dest] = append(delivered[dest], e.val[dd.slot])
+	}
+	wl := e.active[:0]
+	for _, a := range stage {
+		wl = e.enqueue(e.localOf(int(a.to), r), a.slot, wl)
+	}
+	e.active = wl
+	e.wlUnsorted = len(wl) > 0 // sorted lazily by the next sweep
+	e.arr[0] = stage[:0]
+	e.delq = dq[:0]
+	return len(dq)
+}
+
+// route is the healthy loop shared by Route and RouteTorus: in
+// ModeEvent it alternates epoch-skip batches with contention-resolving
+// sweeps; in ModeCycle it sweeps every charged cycle.
 func (e *Engine[T]) route(dst [][]T, r mesh.Region, items [][]T, dest func(T) int, topo topology, wrap bool) (delivered [][]T, steps int64) {
 	m := e.m
 	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
 	defer func() {
 		sp.Observe(steps)
+		sp.Exec(e.execs)
 		sp.End()
 	}()
 	if dst == nil {
@@ -546,31 +1172,56 @@ func (e *Engine[T]) route(dst [][]T, r mesh.Region, items [][]T, dest func(T) in
 	//detlint:ignore checkederr healthy path injects with a nil fault map, so the lost count is structurally zero
 	active, _ := e.inject(delivered, r, items, dest, topo, nil)
 	sp.AddPackets(int64(len(e.val)))
+	e.haz = e.haz[:0]
+	useEvent := e.mode == ModeEvent && m.Side < engMaxEventSide
+	contested := false
 	for active > 0 {
+		if useEvent && !contested {
+			if k, sem := e.skipHorizon(r, wrap, false, steps, 1<<62); k > 0 {
+				e.execs++
+				steps += int64(k)
+				active -= e.batchAdvance(delivered, r, wrap, false, k)
+				contested = sem
+				continue
+			}
+			contested = true
+		}
 		steps++
-		shards, total := e.sweep(r, topo, wrap, false, steps)
+		e.execs++
+		shards, total := e.sweep(r, topo, wrap, false, steps, active)
 		if total == 0 {
 			panic("route: greedy router stalled with active packets")
 		}
 		active -= e.merge(delivered, r, topo, wrap, false, shards)
+		// A contested sweep does not gate the next horizon attempt: the
+		// loser of a selection is often alone next cycle, and a doomed
+		// attempt exits early on its t=0 dup-direction check (a zero
+		// horizon always has a co-located same-direction pair), so the
+		// optimistic retry costs little and converts whole tails of
+		// contention episodes into batches.
+		contested = false
 	}
 	e.cleanup()
 	return delivered, steps
 }
 
-// routeFault is the fault-aware cycle loop shared by RouteFault and
+// routeFault is the fault-aware loop shared by RouteFault and
 // RouteTorusFault: identical to route but consulting the machine's
 // fault map — detours, slow-link waits, the bounded retry budget
 // (16·(H+W) + 4·#packets cycles) and the wedge break after a full slow
 // period of silence. Every cycle spent detouring or waiting is a
 // charged machine step. With a nil (or empty) fault map it makes
-// bit-identical decisions to route.
+// bit-identical decisions to route. In ModeEvent, epoch skips are
+// additionally capped at the first off-beat hazard crossing and at the
+// remaining budget, so blocked, waiting and detouring cycles run one
+// by one exactly as in ModeCycle.
 func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(T) int, topo topology, wrap bool) (delivered [][]T, steps int64, lost int) {
 	m := e.m
 	f := m.Faults()
 	sp := m.Ledger().Begin("greedy", trace.PhaseForward)
 	defer func() {
 		sp.Observe(steps)
+		sp.Exec(e.execs)
 		if lost > 0 {
 			sp.SetAttr("lost", int64(lost))
 		}
@@ -583,13 +1234,36 @@ func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(
 	e.ensure(r)
 	active, lost := e.inject(delivered, r, items, dest, topo, f)
 	sp.AddPackets(int64(len(e.val)))
+	e.hbuf = f.AppendLinkHazards(e.hbuf)
+	e.haz = e.haz[:0]
+	for _, hz := range e.hbuf {
+		e.haz = append(e.haz, engHazard{
+			ar: int32(m.RowOf(hz.A)), ac: int32(m.ColOf(hz.A)),
+			br: int32(m.RowOf(hz.B)), bc: int32(m.ColOf(hz.B)),
+			delay: int32(hz.Delay),
+		})
+	}
 
 	budget := int64(16*(r.H+r.W) + 4*active)
 	maxDelay := int64(f.MaxDelay())
 	idle := int64(0)
+	useEvent := e.mode == ModeEvent && m.Side < engMaxEventSide
+	contested := false
 	for active > 0 && steps < budget {
+		if useEvent && !contested {
+			if k, sem := e.skipHorizon(r, wrap, true, steps, budget-steps); k > 0 {
+				e.execs++
+				steps += int64(k)
+				active -= e.batchAdvance(delivered, r, wrap, true, k)
+				contested = sem
+				idle = 0
+				continue
+			}
+			contested = true
+		}
 		steps++
-		shards, total := e.sweep(r, topo, wrap, true, steps)
+		e.execs++
+		shards, total := e.sweep(r, topo, wrap, true, steps, active)
 		if total == 0 {
 			// Nothing moved. With slow links a packet may be waiting for
 			// its cycle; after a full slow period of silence the network
@@ -598,10 +1272,12 @@ func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(
 			if idle >= maxDelay {
 				break
 			}
+			contested = e.lastContested
 			continue
 		}
 		idle = 0
 		active -= e.merge(delivered, r, topo, wrap, true, shards)
+		contested = e.lastContested
 	}
 	lost += active // budget exhausted or wedged: survivors are dropped
 	e.cleanup()

@@ -60,14 +60,22 @@ func benchGreedyRoute(b *testing.B, side int, kind string, workers int) {
 	full := m.Full()
 	b.ReportAllocs()
 	b.ResetTimer()
+	var steps int64
 	for i := 0; i < b.N; i++ {
 		for p := range items {
 			items[p] = append(items[p][:0], dests[p]...)
 		}
-		eng.Route(dst, full, items, ident)
+		_, steps = eng.Route(dst, full, items, ident)
 		for p := range dst {
 			dst[p] = dst[p][:0]
 		}
+	}
+	b.StopTimer()
+	// CI smoke gate: the event engine may skip cycles but never invent
+	// them — executed iterations are bounded by charged cycles on every
+	// workload.
+	if exec := eng.Executed(); exec > steps {
+		b.Fatalf("%s-%d workers=%d: executed %d > charged %d cycles", kind, side, workers, exec, steps)
 	}
 }
 

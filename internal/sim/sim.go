@@ -119,6 +119,14 @@ func Workers(n int) Option {
 	return func(c *Config) error { c.Core.Workers = n; return nil }
 }
 
+// EngineMode selects the routing engine's execution strategy:
+// route.ModeEvent (default) fast-forwards contention-free stretches,
+// route.ModeCycle forces the cycle-stepped reference loop. Both are
+// bit-identical on every observable output.
+func EngineMode(m route.EngineMode) Option {
+	return func(c *Config) error { c.Core.EngineMode = m; return nil }
+}
+
 // Combine sets the concurrent-write combining policy. The argument's
 // underlying type matches pram.CombinePolicy, so pram.MaxWrite and
 // friends can be passed directly.

@@ -15,6 +15,7 @@ type Node struct {
 	Parallel bool             `json:"parallel,omitempty"`
 	Charged  int64            `json:"charged"`
 	Observed int64            `json:"observed,omitempty"`
+	Executed int64            `json:"executed,omitempty"`
 	Packets  int64            `json:"packets,omitempty"`
 	WallNs   int64            `json:"wall_ns"`
 	Allocs   uint64           `json:"allocs,omitempty"`
@@ -34,6 +35,7 @@ func Export(s *Span) *Node {
 		Parallel: s.Parallel(),
 		Charged:  s.Charged(),
 		Observed: s.Observed(),
+		Executed: s.Executed(),
 		Packets:  s.Packets(),
 		WallNs:   s.WallNs(),
 		Allocs:   s.Allocs(),

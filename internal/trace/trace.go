@@ -78,6 +78,7 @@ type Span struct {
 
 	charged  atomic.Int64
 	observed atomic.Int64
+	executed atomic.Int64
 	packets  atomic.Int64
 
 	start   time.Time
@@ -130,6 +131,20 @@ func (s *Span) Observe(n int64) {
 		return
 	}
 	s.observed.Add(n)
+}
+
+// Exec records n physically executed engine iterations (sweeps plus
+// epoch-skip batches). Executed iterations are an implementation
+// diagnostic beside the semantic axes: charged and observed cycles are
+// bit-identical between the event-driven and cycle-stepped engines,
+// while executed exposes the skip ratio (executed ≤ observed cycles,
+// with equality in cycle mode). Like wall time and alloc counts,
+// executed never enters totals or deterministic renderings.
+func (s *Span) Exec(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.executed.Add(n)
 }
 
 // AddPackets records n packets handled by this span.
@@ -192,6 +207,16 @@ func (s *Span) Observed() int64 {
 		return 0
 	}
 	return s.observed.Load()
+}
+
+// Executed returns the physically executed engine iterations recorded
+// at this span (0 when the phase ran cycle-stepped or predates the
+// event engine).
+func (s *Span) Executed() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.executed.Load()
 }
 
 // Packets returns the packets recorded at this span.
