@@ -1,0 +1,95 @@
+// Command pramserve runs the simulation as a long-lived HTTP/JSON
+// service (internal/serve): scenario submissions are validated, queued
+// behind token-bucket admission control, executed on a pool of warm
+// workers, and cached by the scenario's canonical key — determinism
+// makes every result perfectly cacheable, so a hit returns bytes
+// identical to recomputation.
+//
+// Usage:
+//
+//	pramserve [-addr :8080] [-pool N] [-queue 64] [-rate R] [-burst B]
+//	          [-cache-entries 1024] [-cache-bytes N] [-timeout 60s]
+//
+// Endpoints:
+//
+//	POST /v1/simulate   run a sim.Scenario (JSON body), wait for the result
+//	POST /v1/jobs       enqueue a scenario, returns {"id": "j-1", ...}
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /v1/healthz    liveness and drain state
+//	GET  /v1/stats      queue depth, cache hit rate, pool utilization,
+//	                    per-scenario cycle totals
+//
+// On SIGINT/SIGTERM the server stops admitting work, drains the queue
+// and the in-flight jobs, and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"meshpram/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	pool := flag.Int("pool", 2, "worker pool width (warm engines)")
+	queue := flag.Int("queue", 64, "job queue depth (full queue → 429)")
+	rate := flag.Float64("rate", 0, "admission rate in submissions/sec (0 = unlimited)")
+	burst := flag.Int("burst", 0, "admission burst (default: pool width)")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache entries (-1 disables)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte bound (0 = unbounded)")
+	timeout := flag.Duration("timeout", 60*time.Second, "sync request timeout")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *pool,
+		QueueDepth:     *queue,
+		Rate:           *rate,
+		Burst:          *burst,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		RequestTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Sync requests may legitimately wait the full computation
+		// timeout; leave WriteTimeout above it.
+		WriteTimeout: *timeout + 10*time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pramserve: listening on %s (pool=%d queue=%d)\n", *addr, *pool, *queue)
+
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting connections, then run every
+		// queued job to completion before exiting.
+		fmt.Fprintln(os.Stderr, "pramserve: draining")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "pramserve: shutdown: %v\n", err)
+		}
+		srv.Drain()
+		fmt.Fprintln(os.Stderr, "pramserve: drained")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "pramserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -4,163 +4,181 @@
 //
 // Usage:
 //
-//	pramsim -program prefixsum|listrank|matvec [-side 9] [-q 3] [-d 3]
-//	        [-k 2] [-n 64] [-backend both|ideal|mesh] [-workers N]
-//	        [-faults SPEC] [-fault-schedule SPEC] [-repair off|eager|lazy]
-//	        [-retry N] [-trace]
+//	pramsim [-scenario file.json] [-program prefixsum|listrank|matvec|...]
+//	        [-side 9] [-q 3] [-d 3] [-k 2] [-n 64] [-seed 1]
+//	        [-backend both|ideal|mesh] [-workers N] [-policy majority|rowa]
+//	        [-sort shear|rotate] [-torus] [-no-culling] [-direct-routing]
+//	        [-network-sort] [-faults SPEC] [-fault-schedule SPEC]
+//	        [-repair off|eager|lazy] [-retry N] [-engine event|cycle]
+//	        [-ideal-memory WORDS] [-trace]
 //
-// -trace prints the cost-ledger tree of the last simulated PRAM step.
-// -faults injects a static fault map (see internal/fault.Parse), e.g.
-// "link:5-6;module:40" or "rand:link=0.02,seed=7"; the run then prints
-// the accumulated degradation report.
-// -fault-schedule injects a dynamic fault timeline (see
-// fault.ParseSchedule), e.g. "@3 module:40;@7 revive-module:40" or
-// "churn:module=0.001,repair=10,until=200,seed=7"; -repair selects the
-// self-healing scrub policy and -retry the checkpointed-retry budget
-// per PRAM step. The verdict then includes repair and retry counters.
+// The flag set is an overlay onto a sim.Scenario — the same
+// serializable configuration surface the pramserve service accepts.
+// -scenario loads a JSON scenario file first; explicitly given flags
+// then override individual fields, so a file can carry the experiment
+// and the command line the variation. Every flag maps to exactly one
+// Scenario field (pinned by TestFlagsCoverScenario), so CLI and
+// service provably share one configuration space.
 //
-// Both backends are constructed through the internal/sim builder —
-// the single validated configuration surface of the repository.
+// Execution goes through the same serve.Runner the service workers
+// use: identical scenario, identical result — the printed numbers
+// match a `POST /v1/simulate` of the same JSON byte for byte.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
-	"meshpram/internal/core"
-	"meshpram/internal/pram"
-	"meshpram/internal/route"
+	"meshpram/internal/serve"
 	"meshpram/internal/sim"
-	"meshpram/internal/stats"
-	"meshpram/internal/trace"
 )
 
-func main() {
-	prog := flag.String("program", "prefixsum", "prefixsum | listrank | matvec")
-	side := flag.Int("side", 9, "mesh side (n = side²)")
-	q := flag.Int("q", 3, "copies per replication step (prime power ≥ 3)")
-	d := flag.Int("d", 3, "memory dimension: M = f(q, d) variables")
-	k := flag.Int("k", 2, "HMOS levels")
-	size := flag.Int("n", 64, "problem size")
-	backend := flag.String("backend", "both", "both | ideal | mesh")
-	workers := flag.Int("workers", 1, "mesh engine and router goroutines (0 = GOMAXPROCS); results are width-invariant")
-	faults := flag.String("faults", "", "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
-	schedule := flag.String("fault-schedule", "", "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
-	repairFlag := flag.String("repair", "off", "self-healing scrub policy: off | eager | lazy")
-	retry := flag.Int("retry", 0, "checkpointed-retry budget per PRAM step (0 = off)")
-	engine := flag.String("engine", "event", "routing engine: event (epoch-skip) | cycle (reference); results are bit-identical")
-	showTrace := flag.Bool("trace", false, "print the cost-ledger tree of the last PRAM step")
-	seed := flag.Int64("seed", 1, "input seed")
-	flag.Parse()
+// scenarioFlags registers one flag per sim.Scenario field on fs, bound
+// directly to sc (current values become defaults, so loading a
+// scenario file before registration makes flags override its fields).
+// It returns the flag-name → JSON-field mapping, which
+// TestFlagsCoverScenario pins against the Scenario struct.
+func scenarioFlags(fs *flag.FlagSet, sc *sim.Scenario) map[string]string {
+	fs.IntVar(&sc.Side, "side", sc.Side, "mesh side (n = side²)")
+	fs.IntVar(&sc.Q, "q", sc.Q, "copies per replication step (prime power ≥ 3)")
+	fs.IntVar(&sc.D, "d", sc.D, "memory dimension: M = f(q, d) variables")
+	fs.IntVar(&sc.K, "k", sc.K, "HMOS levels")
+	fs.StringVar(&sc.Program, "program", sc.Program, "prefixsum | listrank | matvec | reduce | oddevensort | compact")
+	fs.IntVar(&sc.Size, "n", sc.Size, "problem size")
+	fs.Int64Var(&sc.Seed, "seed", sc.Seed, "input seed")
+	fs.StringVar(&sc.Backend, "backend", sc.Backend, "both | ideal | mesh")
+	fs.StringVar(&sc.Policy, "policy", sc.Policy, "copy-access discipline: majority | rowa")
+	fs.BoolVar(&sc.Torus, "torus", sc.Torus, "wrap-around links on machine-spanning phases")
+	fs.StringVar(&sc.Sort, "sort", sc.Sort, "sorting network: shear | rotate")
+	fs.BoolVar(&sc.DisableCulling, "no-culling", sc.DisableCulling, "minimal target sets without congestion control (ablation)")
+	fs.BoolVar(&sc.DirectRouting, "direct-routing", sc.DirectRouting, "bypass the staged protocol (ablation)")
+	fs.BoolVar(&sc.NetworkSort, "network-sort", sc.NetworkSort, "run the sorting network round by round")
+	fs.StringVar(&sc.Faults, "faults", sc.Faults, "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
+	fs.StringVar(&sc.FaultSchedule, "fault-schedule", sc.FaultSchedule, "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
+	fs.StringVar(&sc.Repair, "repair", sc.Repair, "self-healing scrub policy: off | eager | lazy")
+	fs.IntVar(&sc.Retry, "retry", sc.Retry, "checkpointed-retry budget per PRAM step (0 = off)")
+	fs.StringVar(&sc.Engine, "engine", sc.Engine, "routing engine: event (epoch-skip) | cycle (reference); results are bit-identical")
+	fs.IntVar(&sc.Workers, "workers", sc.Workers, "mesh engine and router goroutines (0 = GOMAXPROCS); results are width-invariant")
+	fs.IntVar(&sc.IdealMemory, "ideal-memory", sc.IdealMemory, "ideal backend memory in words (0 = the scheme's M)")
+	fs.BoolVar(&sc.Trace, "trace", sc.Trace, "print the cost-ledger tree of the last PRAM step")
+	return map[string]string{
+		"side": "side", "q": "q", "d": "d", "k": "k",
+		"program": "program", "n": "size", "seed": "seed",
+		"backend": "backend", "policy": "policy", "torus": "torus",
+		"sort": "sort", "no-culling": "disable_culling",
+		"direct-routing": "direct_routing", "network-sort": "network_sort",
+		"faults": "faults", "fault-schedule": "fault_schedule",
+		"repair": "repair", "retry": "retry", "engine": "engine",
+		"workers": "workers", "ideal-memory": "ideal_memory",
+		"trace": "trace",
+	}
+}
 
-	repair, err := core.ParseRepairPolicy(*repairFlag)
-	fatalIf(err)
-
-	build := func() pram.Program {
-		rng := rand.New(rand.NewSource(*seed))
-		switch *prog {
-		case "prefixsum":
-			in := make([]pram.Word, *size)
-			for i := range in {
-				in[i] = pram.Word(rng.Intn(100))
-			}
-			return &pram.PrefixSum{In: in}
-		case "listrank":
-			order := rng.Perm(*size)
-			next := make([]int, *size)
-			for i := 0; i+1 < *size; i++ {
-				next[order[i]] = order[i+1]
-			}
-			next[order[*size-1]] = order[*size-1]
-			return &pram.ListRank{Succ: next, NextBase: 0, RankBase: *size}
-		case "matvec":
-			r := *size
-			A := make([][]pram.Word, r)
-			for i := range A {
-				A[i] = make([]pram.Word, r)
-				for j := range A[i] {
-					A[i][j] = pram.Word(rng.Intn(10))
-				}
-			}
-			x := make([]pram.Word, r)
-			for j := range x {
-				x[j] = pram.Word(rng.Intn(10))
-			}
-			return &pram.MatVec{A: A, X: x, ABase: 0, XBase: r * r, YBase: r*r + r}
+// scanScenarioPath extracts the -scenario flag value from args before
+// the real FlagSet exists: the file must be loaded first so its fields
+// become the defaults the other flags override.
+func scanScenarioPath(args []string) string {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "--" {
+			return ""
+		}
+		name, val, eq := "", "", false
+		switch {
+		case len(a) > 2 && a[:2] == "--":
+			name = a[2:]
+		case len(a) > 1 && a[0] == '-':
+			name = a[1:]
 		default:
-			fmt.Fprintf(os.Stderr, "pramsim: unknown program %q\n", *prog)
-			os.Exit(2)
-			return nil
+			continue
+		}
+		if j := indexByte(name, '='); j >= 0 {
+			name, val, eq = name[:j], name[j+1:], true
+		}
+		if name != "scenario" {
+			continue
+		}
+		if eq {
+			return val
+		}
+		if i+1 < len(args) {
+			return args[i+1]
 		}
 	}
+	return ""
+}
 
-	var mode route.EngineMode
-	switch *engine {
-	case "event":
-		mode = route.ModeEvent
-	case "cycle":
-		mode = route.ModeCycle
-	default:
-		fmt.Fprintf(os.Stderr, "pramsim: unknown engine %q\n", *engine)
-		os.Exit(2)
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
 	}
+	return -1
+}
 
-	cfg, err := sim.New(
-		sim.Side(*side), sim.Q(*q), sim.D(*d), sim.K(*k),
-		sim.Workers(*workers),
-		sim.EngineMode(mode),
-		sim.FaultSpec(*faults),
-		sim.FaultScheduleSpec(*schedule),
-		sim.Repair(repair),
-		sim.Retry(*retry),
-		sim.IdealMemory(1<<20),
-	)
+// loadScenario reads a JSON scenario file over the defaults.
+func loadScenario(path string, sc *sim.Scenario) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, sc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func main() {
+	sc := sim.DefaultScenario()
+	if path := scanScenarioPath(os.Args[1:]); path != "" {
+		fatalIf(loadScenario(path, &sc))
+	}
+	fs := flag.NewFlagSet("pramsim", flag.ExitOnError)
+	fs.String("scenario", "", "JSON scenario file; explicit flags override its fields")
+	scenarioFlags(fs, &sc)
+	fatalIf(fs.Parse(os.Args[1:]))
+
+	sc = sc.Normalized()
+	fatalIf(sc.Validate())
+
+	res, err := serve.NewRunner().Run(sc)
 	fatalIf(err)
+	render(os.Stdout, res)
+}
 
-	var idealSteps, pramSteps int
-	var meshSteps int64
-	if *backend == "both" || *backend == "ideal" {
-		id, err := pram.NewBackend(pram.BackendIdeal, cfg)
-		fatalIf(err)
-		steps, err := pram.Run(build(), id)
-		fatalIf(err)
-		idealSteps = steps
-		fmt.Printf("ideal PRAM:  %d PRAM steps, cost %d\n", steps, id.Steps())
+// render prints a Result in pramsim's traditional report format.
+func render(w *os.File, res *serve.Result) {
+	sc := res.Scenario
+	if id := res.Ideal; id != nil {
+		fmt.Fprintf(w, "ideal PRAM:  %d PRAM steps, cost %d\n", id.PRAMSteps, id.Cost)
 	}
-	if *backend == "both" || *backend == "mesh" {
-		b, err := pram.NewBackend(pram.BackendMesh, cfg)
-		fatalIf(err)
-		mb := b.(*pram.Mesh)
-		s := mb.Sim.Scheme()
-		fmt.Printf("mesh:        side=%d n=%d M=%d (alpha=%.3f) q=%d k=%d redundancy=%d\n",
-			*side, s.N, s.Vars(), s.Alpha(), *q, *k, s.CopiesPerVar())
-		steps, err := pram.Run(build(), mb)
-		fatalIf(err)
-		pramSteps = steps
-		meshSteps = mb.Steps()
-		fmt.Printf("mesh:        %d PRAM steps simulated in %d mesh steps\n", steps, meshSteps)
-		if rep := mb.TotalReport(); rep != nil {
-			fmt.Printf("degradation: %s\n", rep)
+	if m := res.Mesh; m != nil {
+		fmt.Fprintf(w, "mesh:        side=%d n=%d M=%d (alpha=%.3f) q=%d k=%d redundancy=%d\n",
+			sc.Side, m.Scheme.N, m.Scheme.Vars, m.Scheme.Alpha, sc.Q, sc.K, m.Scheme.Redundancy)
+		fmt.Fprintf(w, "mesh:        %d PRAM steps simulated in %d mesh steps\n", m.PRAMSteps, m.MeshSteps)
+		if d := m.Degradation; d != nil {
+			fmt.Fprintf(w, "degradation: %d/%d ops degraded: %d dead origins, %d lost packets, %d unrecoverable\n",
+				d.DeadOrigins+len(d.Unrecoverable), d.Ops, d.DeadOrigins, d.LostPackets, len(d.Unrecoverable))
 		}
-		if rs := mb.RepairStats(); rs.Scrubs > 0 || rs.ModuleDeaths > 0 {
-			fmt.Printf("repair:      %d module deaths, %d scrubs, %d copies rebuilt, %d residual, %d remapped, %d repair steps\n",
+		if rs := m.Repair; rs != nil {
+			fmt.Fprintf(w, "repair:      %d module deaths, %d scrubs, %d copies rebuilt, %d residual, %d remapped, %d repair steps\n",
 				rs.ModuleDeaths, rs.Scrubs, rs.Repaired, rs.Residual, rs.Remapped, rs.Steps)
 		}
-		if rec := mb.Recovery(); rec.Retries > 0 {
-			fmt.Printf("retry:       %d retries, %d steps recovered, %d exhausted, %d backoff steps\n",
+		if rec := m.Recovery; rec != nil {
+			fmt.Fprintf(w, "retry:       %d retries, %d steps recovered, %d exhausted, %d backoff steps\n",
 				rec.Retries, rec.Recovered, rec.Exhausted, rec.Backoff)
 		}
-		if *showTrace {
-			fmt.Printf("\ncost ledger of the last PRAM step:\n")
-			stats.RenderTrace(os.Stdout, trace.Export(mb.Sim.Ledger().Last()))
+		fmt.Fprintf(w, "verdict:     %s\n", m.Verdict)
+		if m.Trace != "" {
+			fmt.Fprintf(w, "\ncost ledger of the last PRAM step:\n%s", m.Trace)
 		}
 	}
-	if *backend == "both" && pramSteps > 0 {
-		fmt.Printf("slowdown:    %.1f mesh steps per PRAM step (n=%d, sqrt(n)=%d)\n",
-			float64(meshSteps)/float64(pramSteps), (*side)*(*side), *side)
-		_ = idealSteps
+	if res.Slowdown > 0 {
+		fmt.Fprintf(w, "slowdown:    %.1f mesh steps per PRAM step (n=%d, sqrt(n)=%d)\n",
+			res.Slowdown, sc.Side*sc.Side, sc.Side)
 	}
 }
 

@@ -267,6 +267,17 @@ func New(p hmos.Params, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewWithScheme(s, cfg)
+}
+
+// NewWithScheme creates a simulator onto a pre-constructed HMOS
+// scheme. Schemes are immutable after hmos.New and expensive to build
+// (GF tables, BIBD graphs, tessellations), so warm pools construct one
+// per parameter set and reuse it across simulators; the simulator gets
+// its own mesh machine, ledger and engines, so no mutable state is
+// shared between simulators built over one scheme.
+func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
+	p := s.Params
 	m, err := mesh.New(p.Side)
 	if err != nil {
 		return nil, err

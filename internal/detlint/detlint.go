@@ -96,8 +96,11 @@ func All() []*Analyzer {
 }
 
 // DetPackages are the packages whose execution must be bit-identical
-// run to run: the protocol core and everything it charges through.
-var DetPackages = []string{"core", "route", "culling", "mesh", "hmos", "fault", "trace"}
+// run to run: the protocol core and everything it charges through,
+// plus the scenario API and the service's execution/encoding layer
+// (serve's admission and transport layers carry explicit wallclock
+// suppressions — they never feed charged costs or response bodies).
+var DetPackages = []string{"core", "route", "culling", "mesh", "hmos", "fault", "trace", "sim", "serve"}
 
 // Run applies the analyzers to the packages, drops suppressed findings,
 // and returns the rest sorted by position. Malformed or unknown-check

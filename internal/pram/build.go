@@ -1,0 +1,119 @@
+package pram
+
+// Scenario-driven program construction: one named, seeded builder per
+// program in sim.Programs, shared by the pramsim CLI and the pramserve
+// service so both spell workloads identically. The input generators are
+// explicitly seeded (math/rand.NewSource) — the same (name, size, seed)
+// always yields the same program, which is what makes scenario results
+// cacheable end to end.
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BuildProgram constructs the named PRAM program with a seeded random
+// input. The names are exactly sim.Programs (pinned by test). Memory
+// layouts start at address 0 and are disjoint per program; OutputRange
+// on the returned program locates the result words.
+func BuildProgram(name string, size int, seed int64) (Program, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("pram: program size %d must be ≥ 1", size)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "prefixsum":
+		in := make([]Word, size)
+		for i := range in {
+			in[i] = Word(rng.Intn(100))
+		}
+		return &PrefixSum{In: in}, nil
+	case "listrank":
+		order := rng.Perm(size)
+		next := make([]int, size)
+		for i := 0; i+1 < size; i++ {
+			next[order[i]] = order[i+1]
+		}
+		next[order[size-1]] = order[size-1]
+		return &ListRank{Succ: next, NextBase: 0, RankBase: size}, nil
+	case "matvec":
+		A := make([][]Word, size)
+		for i := range A {
+			A[i] = make([]Word, size)
+			for j := range A[i] {
+				A[i][j] = Word(rng.Intn(10))
+			}
+		}
+		x := make([]Word, size)
+		for j := range x {
+			x[j] = Word(rng.Intn(10))
+		}
+		return &MatVec{A: A, X: x, ABase: 0, XBase: size * size, YBase: size*size + size}, nil
+	case "reduce":
+		in := make([]Word, size)
+		for i := range in {
+			in[i] = Word(rng.Intn(100))
+		}
+		return &Reduce{In: in}, nil
+	case "oddevensort":
+		in := make([]Word, size)
+		for i := range in {
+			in[i] = Word(rng.Intn(1000))
+		}
+		return &OddEvenSort{In: in}, nil
+	case "compact":
+		in := make([]Word, size)
+		for i := range in {
+			// ~40% zeros so compaction actually moves elements.
+			if v := rng.Intn(10); v >= 4 {
+				in[i] = Word(v)
+			}
+		}
+		return &Compact{In: in, FlagBase: 0, OutBase: size, CountAddr: 2 * size}, nil
+	}
+	return nil, fmt.Errorf("pram: unknown program %q", name)
+}
+
+// Outputs is implemented by programs that leave their result in a
+// known contiguous region of shared memory.
+type Outputs interface {
+	// OutputRange returns the base address and length of the result.
+	OutputRange() (base, n int)
+}
+
+// OutputRange implements Outputs: prefix sums land over the input.
+func (p *PrefixSum) OutputRange() (int, int) { return p.Base, len(p.In) }
+
+// OutputRange implements Outputs: ranks at RankBase.
+func (p *ListRank) OutputRange() (int, int) { return p.RankBase, len(p.Succ) }
+
+// OutputRange implements Outputs: y at YBase, one word per row.
+func (p *MatVec) OutputRange() (int, int) { return p.YBase, len(p.A) }
+
+// OutputRange implements Outputs: the sum in cell Base.
+func (p *Reduce) OutputRange() (int, int) { return p.Base, 1 }
+
+// OutputRange implements Outputs: the sorted sequence at Base.
+func (p *OddEvenSort) OutputRange() (int, int) { return p.Base, len(p.In) }
+
+// OutputRange implements Outputs: the compacted elements at OutBase.
+func (p *Compact) OutputRange() (int, int) { return p.OutBase, len(p.In) }
+
+// ReadWords fetches n consecutive shared-memory words starting at base
+// by executing one extra read step (one processor per word) on the
+// backend. The step is charged like any other — callers that report
+// costs should record Steps() before fetching.
+func ReadWords(b Backend, base, n int) ([]Word, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: Read, Addr: base + i}
+	}
+	res, err := b.ExecStep(ops)
+	if err != nil {
+		return nil, err
+	}
+	return res[:n:n], nil
+}

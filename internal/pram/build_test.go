@@ -1,0 +1,53 @@
+package pram
+
+import (
+	"reflect"
+	"testing"
+
+	"meshpram/internal/sim"
+)
+
+// TestScenarioProgramsBuildable pins sim.Programs against BuildProgram:
+// every name a Scenario may carry constructs, with a sane output range.
+func TestScenarioProgramsBuildable(t *testing.T) {
+	for _, name := range sim.Programs {
+		prog, err := BuildProgram(name, 8, 1)
+		if err != nil {
+			t.Errorf("BuildProgram(%q): %v", name, err)
+			continue
+		}
+		out, ok := prog.(Outputs)
+		if !ok {
+			t.Errorf("program %q does not implement Outputs", name)
+			continue
+		}
+		base, n := out.OutputRange()
+		if base < 0 || n < 1 {
+			t.Errorf("program %q output range (%d, %d) is degenerate", name, base, n)
+		}
+	}
+	if _, err := BuildProgram("quicksort", 8, 1); err == nil {
+		t.Error("BuildProgram accepted an unknown program name")
+	}
+	if _, err := BuildProgram("prefixsum", 0, 1); err == nil {
+		t.Error("BuildProgram accepted size 0")
+	}
+}
+
+// TestBuildProgramSeeded checks the same (name, size, seed) always
+// yields the same program, and different seeds differ.
+func TestBuildProgramSeeded(t *testing.T) {
+	for _, name := range sim.Programs {
+		a, err := BuildProgram(name, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BuildProgram(name, 16, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("program %q not deterministic for equal seeds", name)
+		}
+	}
+}

@@ -129,13 +129,17 @@ func NewBackend(kind BackendKind, cfg sim.Config) (Backend, error) {
 		}
 		return NewIdeal(words, combine), nil
 	case BackendMesh:
-		mb, err := NewMesh(cfg.Params, cfg.Core, combine)
+		// Build through cfg.NewSimulator so the scheme constructed (or
+		// installed via sim.UseScheme) during sim.New is reused and the
+		// config's trace sinks are wired exactly once.
+		s, err := cfg.NewSimulator()
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range cfg.Sinks {
-			mb.Sim.Ledger().AddSink(s)
+		if combine == nil {
+			combine = ArbitraryWrite
 		}
+		mb := &Mesh{Sim: s, combine: combine, m: s.Mesh()}
 		if cfg.Retry > 0 {
 			mb.SetRetryBudget(cfg.Retry)
 		}

@@ -1,0 +1,73 @@
+package serve
+
+// Admission control: a token bucket gating scenario computation. This
+// is the service-level layer — it reads the wall clock, so it lives
+// strictly outside the deterministic boundary (run.go): admission
+// decides *whether* a computation starts, never anything about its
+// result, and no charged-cost accounting flows through here.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// bucket is a standard token bucket: burst capacity, rate tokens per
+// second. A nil bucket (or rate ≤ 0) admits everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns a full bucket, or nil when rate ≤ 0 (admission
+// disabled).
+func newBucket(rate float64, burst int) *bucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		//detlint:ignore wallclock admission timing is service-level; it never feeds charged-cost accounting or response bodies
+		last: time.Now(),
+	}
+}
+
+// take consumes one token. On refusal it returns the duration after
+// which one token will be available (the Retry-After hint).
+func (b *bucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//detlint:ignore wallclock admission timing is service-level; it never feeds charged-cost accounting or response bodies
+	now := time.Now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+dt*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

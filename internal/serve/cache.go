@@ -1,0 +1,123 @@
+package serve
+
+// The deterministic result cache: an LRU over encoded response bodies
+// keyed by the scenario's canonical cache key. Determinism is what
+// makes this sound — a hit returns bytes identical to recomputation
+// (pinned by TestCacheIdentity), so eviction and capacity tuning are
+// pure performance knobs, never correctness ones.
+
+import (
+	"container/list"
+	"sync"
+)
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// lruCache is a size-bounded (entries and bytes) LRU of response
+// bodies. The zero limits disable the respective bound; a nil cache
+// stores nothing.
+type lruCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+
+	hits, misses int64
+}
+
+// newCache returns an LRU bounded by maxEntries (> 0 required) and
+// optionally maxBytes (0 = unbounded bytes). maxEntries ≤ 0 disables
+// caching entirely (returns nil).
+func newCache(maxEntries int, maxBytes int64) *lruCache {
+	if maxEntries <= 0 {
+		return nil
+	}
+	return &lruCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		index:      make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting least-recently-used entries
+// until both bounds hold. Bodies larger than maxBytes are not stored.
+func (c *lruCache) put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.index[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.index[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.index, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// cacheStats is a point-in-time snapshot for /v1/stats.
+type cacheStats struct {
+	Entries int     `json:"entries"`
+	Bytes   int64   `json:"bytes"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (c *lruCache) snapshot() cacheStats {
+	if c == nil {
+		return cacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := cacheStats{
+		Entries: c.ll.Len(),
+		Bytes:   c.bytes,
+		Hits:    c.hits,
+		Misses:  c.misses,
+	}
+	if total := c.hits + c.misses; total > 0 {
+		st.HitRate = float64(c.hits) / float64(total)
+	}
+	return st
+}

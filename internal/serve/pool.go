@@ -1,0 +1,178 @@
+package serve
+
+// The warm engine pool: N persistent worker goroutines, each owning
+// one Runner (and therefore its own warm HMOS scheme cache — no
+// cross-worker sharing, no locks on the execution path). Jobs flow
+// through one bounded channel; the channel's free capacity is the
+// queue the admission layer protects.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"meshpram/internal/sim"
+)
+
+// jobStatus is the lifecycle of one submission.
+type jobStatus string
+
+const (
+	statusQueued  jobStatus = "queued"
+	statusRunning jobStatus = "running"
+	statusDone    jobStatus = "done"
+	statusFailed  jobStatus = "failed"
+)
+
+// job is one scenario submission. Sync and async requests share the
+// type: a sync request waits on done, an async one polls by id.
+type job struct {
+	id       string
+	key      string
+	scenario sim.Scenario
+
+	done chan struct{} // closed exactly once, after body/err are set
+
+	mu        sync.Mutex
+	status    jobStatus
+	body      []byte
+	err       error
+	fromCache bool
+	meshSteps int64 // charged mesh steps of the computed run (stats)
+}
+
+func newJob(id string, sc sim.Scenario) *job {
+	return &job{
+		id:       id,
+		key:      sc.Key(),
+		scenario: sc,
+		done:     make(chan struct{}),
+		status:   statusQueued,
+	}
+}
+
+// completedJob returns an already-finished job (cache hits).
+func completedJob(id string, sc sim.Scenario, body []byte) *job {
+	j := newJob(id, sc)
+	j.status = statusDone
+	j.body = body
+	j.fromCache = true
+	close(j.done)
+	return j
+}
+
+func (j *job) markRunning() {
+	j.mu.Lock()
+	j.status = statusRunning
+	j.mu.Unlock()
+}
+
+func (j *job) finish(body []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.status = statusFailed
+		j.err = err
+	} else {
+		j.status = statusDone
+		j.body = body
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// state returns a consistent (status, body, err) snapshot.
+func (j *job) state() (jobStatus, []byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status, j.body, j.err
+}
+
+// currentStatus returns just the lifecycle status.
+func (j *job) currentStatus() jobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// pool runs jobs on persistent workers.
+type pool struct {
+	queue   chan *job
+	workers int
+	busy    atomic.Int64
+	onDone  func(*job) // invoked after finish, outside the job lock
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newPool starts `workers` goroutines behind a queue of depth slots.
+// workers may be 0 (tests exercising queue backpressure only).
+func newPool(workers, depth int, onDone func(*job)) *pool {
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pool{
+		queue:   make(chan *job, depth),
+		workers: workers,
+		onDone:  onDone,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.work()
+	}
+	return p
+}
+
+func (p *pool) work() {
+	defer p.wg.Done()
+	runner := NewRunner() // warm scheme cache, private to this worker
+	for j := range p.queue {
+		p.busy.Add(1)
+		j.markRunning()
+		var body []byte
+		res, err := runner.Run(j.scenario)
+		if err == nil {
+			if res.Mesh != nil {
+				j.meshSteps = res.Mesh.MeshSteps
+			}
+			body, err = EncodeResult(res)
+		}
+		j.finish(body, err)
+		if p.onDone != nil {
+			p.onDone(j)
+		}
+		p.busy.Add(-1)
+	}
+}
+
+// trySubmit enqueues without blocking. False means the queue is full
+// or the pool is draining.
+func (p *pool) trySubmit(j *job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain stops accepting jobs, lets the workers finish everything
+// already queued, and returns when the pool is idle.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *pool) depth() int     { return len(p.queue) }
+func (p *pool) capacity() int  { return cap(p.queue) }
+func (p *pool) busyCount() int { return int(p.busy.Load()) }

@@ -1,0 +1,482 @@
+package serve
+
+// The HTTP/JSON transport: scenario submission (sync and async),
+// result retrieval, health and stats. Endpoints:
+//
+//	POST /v1/simulate     run a scenario, wait for the body (sync)
+//	POST /v1/jobs         enqueue a scenario, return a job id (async)
+//	GET  /v1/jobs/{id}    poll an async job
+//	GET  /v1/healthz      liveness and drain state
+//	GET  /v1/stats        queue, cache, pool and per-scenario totals
+//
+// A submission flows: decode → Normalized/Validate (400) → cache
+// (hit: bytes served verbatim) → in-flight coalescing (identical
+// concurrent submissions share one computation) → token-bucket
+// admission and bounded queue (429 + Retry-After) → worker pool.
+// Overload never degrades results, only availability — a computed
+// body is byte-identical no matter how it was scheduled.
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"meshpram/internal/sim"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the pool width (default 2): persistent goroutines,
+	// each with its own warm scheme cache.
+	Workers int
+	// QueueDepth bounds the job queue (default 64). A full queue
+	// rejects with 429 + Retry-After.
+	QueueDepth int
+	// Rate is the token-bucket refill in submissions/second; ≤ 0
+	// disables admission control. Burst is the bucket capacity
+	// (default: max(Workers, 1)).
+	Rate  float64
+	Burst int
+	// CacheEntries bounds the result cache (default 1024; negative
+	// disables caching). CacheBytes optionally bounds the cached body
+	// bytes (0 = unbounded).
+	CacheEntries int
+	CacheBytes   int64
+	// RequestTimeout caps how long a sync request waits for its result
+	// (default 60s). The computation continues; the body remains
+	// retrievable via the async job endpoint and the cache.
+	RequestTimeout time.Duration
+	// MaxJobs bounds retained async job records (default 1024).
+	MaxJobs int
+	// MaxBody caps request bodies in bytes (default 1 MiB).
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.Workers
+	}
+	switch {
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0 // disabled
+	case c.CacheEntries == 0:
+		c.CacheEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	return c
+}
+
+// scenarioTotals accumulates per-scenario counters for /v1/stats.
+type scenarioTotals struct {
+	runs      int64
+	cacheHits int64
+	meshSteps int64 // charged mesh steps summed over computed runs
+}
+
+// Server is the simulation service. Construct with New, mount
+// Handler, and Drain on shutdown.
+type Server struct {
+	cfg   Config
+	pool  *pool
+	cache *lruCache
+	adm   *bucket
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	jobSeq   atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[string]*job // cache key → running computation
+	jobs     map[string]*job // job id → record (bounded by MaxJobs)
+	jobAge   *list.List      // job ids, oldest at back
+	scen     map[string]*scenarioTotals
+	admitted int64
+	rejected int64
+	done     int64
+	failed   int64
+}
+
+// New builds and starts a Server (its worker pool runs immediately).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newCache(cfg.CacheEntries, cfg.CacheBytes),
+		adm:      newBucket(cfg.Rate, cfg.Burst),
+		inflight: make(map[string]*job),
+		jobs:     make(map[string]*job),
+		jobAge:   list.New(),
+		scen:     make(map[string]*scenarioTotals),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.jobDone)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the HTTP handler of the service.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting work, runs every already-queued job to
+// completion, and returns when the pool is idle — the SIGTERM path.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	s.pool.drain()
+}
+
+// jobDone is the pool's completion callback: fill the cache, account
+// the scenario, release the in-flight slot.
+func (s *Server) jobDone(j *job) {
+	_, body, err := j.state()
+	if err == nil {
+		s.cache.put(j.key, body)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	if err != nil {
+		s.failed++
+		return
+	}
+	s.done++
+	s.totalsFor(j.key).runs++
+	s.totalsFor(j.key).meshSteps += j.meshSteps
+}
+
+// totalsFor returns (creating on demand) the per-scenario counters.
+// Callers hold s.mu.
+func (s *Server) totalsFor(key string) *scenarioTotals {
+	t, ok := s.scen[key]
+	if !ok {
+		t = &scenarioTotals{}
+		s.scen[key] = t
+	}
+	return t
+}
+
+// submitError is an admission/validation refusal with an HTTP shape.
+type submitError struct {
+	status     int
+	msg        string
+	retryAfter int // seconds; 0 = no header
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// submit runs the full admission pipeline and returns either a job
+// (possibly already completed, on cache hit or coalesced join) or a
+// submitError.
+func (s *Server) submit(sc sim.Scenario) (*job, *submitError) {
+	if s.draining.Load() {
+		return nil, &submitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	key := sc.Key()
+	if body, ok := s.cache.get(key); ok {
+		id := s.nextJobID()
+		j := completedJob(id, sc, body)
+		s.mu.Lock()
+		s.totalsFor(key).cacheHits++
+		s.rememberJob(j)
+		s.mu.Unlock()
+		return j, nil
+	}
+	s.mu.Lock()
+	if j, ok := s.inflight[key]; ok {
+		// Identical submission already computing: join it. No token
+		// consumed — coalesced work is free by determinism.
+		s.mu.Unlock()
+		return j, nil
+	}
+	ok, wait := s.adm.take()
+	if !ok {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, &submitError{
+			status:     http.StatusTooManyRequests,
+			msg:        "admission rate exceeded",
+			retryAfter: retryAfterSeconds(wait),
+		}
+	}
+	j := newJob(s.nextJobID(), sc)
+	s.inflight[key] = j
+	s.rememberJob(j)
+	s.admitted++
+	s.mu.Unlock()
+
+	if !s.pool.trySubmit(j) {
+		s.mu.Lock()
+		if s.inflight[key] == j {
+			delete(s.inflight, key)
+		}
+		s.forgetJob(j.id)
+		s.admitted--
+		s.rejected++
+		s.mu.Unlock()
+		return nil, &submitError{
+			status:     http.StatusTooManyRequests,
+			msg:        "job queue is full",
+			retryAfter: 1,
+		}
+	}
+	return j, nil
+}
+
+func (s *Server) nextJobID() string {
+	return fmt.Sprintf("j-%d", s.jobSeq.Add(1))
+}
+
+// rememberJob records j for async retrieval, evicting the oldest
+// completed records beyond MaxJobs. Callers hold s.mu.
+func (s *Server) rememberJob(j *job) {
+	s.jobs[j.id] = j
+	s.jobAge.PushFront(j.id)
+	for len(s.jobs) > s.cfg.MaxJobs {
+		oldest := s.jobAge.Back()
+		if oldest == nil {
+			break
+		}
+		id := oldest.Value.(string)
+		if old, ok := s.jobs[id]; ok {
+			if st := old.currentStatus(); st != statusDone && st != statusFailed {
+				break // still live; retention pressure waits for it
+			}
+			delete(s.jobs, id)
+		}
+		s.jobAge.Remove(oldest)
+	}
+}
+
+// forgetJob removes a job record (failed enqueue). Callers hold s.mu.
+func (s *Server) forgetJob(id string) {
+	delete(s.jobs, id)
+	for el := s.jobAge.Front(); el != nil; el = el.Next() {
+		if el.Value.(string) == id {
+			s.jobAge.Remove(el)
+			break
+		}
+	}
+}
+
+// --- HTTP handlers ------------------------------------------------------
+
+func (s *Server) decodeScenario(w http.ResponseWriter, r *http.Request) (sim.Scenario, bool) {
+	defer r.Body.Close() //detlint:ignore checkederr drained by http server; close error is unactionable here
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	var sc sim.Scenario
+	if err := dec.Decode(&sc); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode scenario: %v", err))
+		return sim.Scenario{}, false
+	}
+	sc = sc.Normalized()
+	if err := sc.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return sim.Scenario{}, false
+	}
+	return sc, true
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.decodeScenario(w, r)
+	if !ok {
+		return
+	}
+	j, serr := s.submit(sc)
+	if serr != nil {
+		writeSubmitError(w, serr)
+		return
+	}
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case <-j.done:
+	case <-timer.C:
+		w.Header().Set("X-Job-Id", j.id)
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("computation still running; poll /v1/jobs/%s", j.id))
+		return
+	case <-r.Context().Done():
+		return
+	}
+	st, body, err := j.state()
+	if st == statusFailed {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Scenario-Key", j.key)
+	if j.fromCache {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body) //detlint:ignore checkederr client write failure is the client's problem; nothing to roll back
+}
+
+// jobView is the async job representation.
+type jobView struct {
+	ID     string          `json:"id"`
+	Key    string          `json:"key"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+func viewOf(j *job) jobView {
+	st, body, err := j.state()
+	v := jobView{ID: j.id, Key: j.key, Status: string(st), Cached: j.fromCache}
+	if st == statusDone {
+		v.Result = json.RawMessage(body)
+	}
+	if err != nil {
+		v.Error = err.Error()
+	}
+	return v
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	sc, ok := s.decodeScenario(w, r)
+	if !ok {
+		return
+	}
+	j, serr := s.submit(sc)
+	if serr != nil {
+		writeSubmitError(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView{
+		ID: j.id, Key: j.key, Status: string(j.currentStatus()), Cached: j.fromCache,
+	})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(j))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}{status, s.cfg.Workers})
+}
+
+// ScenarioStat is one per-scenario row of /v1/stats.
+type ScenarioStat struct {
+	Key       string `json:"key"`
+	Runs      int64  `json:"runs"`
+	CacheHits int64  `json:"cache_hits"`
+	MeshSteps int64  `json:"mesh_steps"` // charged cycles summed over computed runs
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	Workers    int  `json:"workers"`
+	Busy       int  `json:"busy"`
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Draining   bool `json:"draining,omitempty"`
+
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected"`
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+
+	Cache cacheStats `json:"cache"`
+
+	Scenarios []ScenarioStat `json:"scenarios"`
+}
+
+// StatsSnapshot assembles the current service counters (also used by
+// tests, bypassing HTTP).
+func (s *Server) StatsSnapshot() Stats {
+	st := Stats{
+		Workers:    s.cfg.Workers,
+		Busy:       s.pool.busyCount(),
+		QueueDepth: s.pool.depth(),
+		QueueCap:   s.pool.capacity(),
+		Draining:   s.draining.Load(),
+		Cache:      s.cache.snapshot(),
+	}
+	s.mu.Lock()
+	st.Admitted, st.Rejected = s.admitted, s.rejected
+	st.JobsDone, st.JobsFailed = s.done, s.failed
+	keys := make([]string, 0, len(s.scen))
+	for k := range s.scen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t := s.scen[k]
+		st.Scenarios = append(st.Scenarios, ScenarioStat{
+			Key: k, Runs: t.runs, CacheHits: t.cacheHits, MeshSteps: t.meshSteps,
+		})
+	}
+	s.mu.Unlock()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// --- response helpers ---------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //detlint:ignore checkederr client write failure is the client's problem; nothing to roll back
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+func writeSubmitError(w http.ResponseWriter, e *submitError) {
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	writeError(w, e.status, e.msg)
+}

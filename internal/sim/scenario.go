@@ -1,0 +1,349 @@
+package sim
+
+// Scenario is the wire-format twin of the functional-options builder:
+// a flat, JSON-round-trippable description of one simulation run
+// covering the full option surface of New plus the run-level knobs
+// (program, size, seed, backend) the CLIs and the scenario service
+// need. Options remain the Go-native construction path; Scenario is
+// the serialization, comparison and cache-key path. FromScenario
+// bridges a Scenario onto the options, so both spell exactly the same
+// configuration space.
+//
+// Determinism contract: Canonical returns a byte-deterministic
+// encoding (fixed key order, no maps, quoted strings) of the
+// normalized scenario, and Key hashes it — identical scenarios always
+// produce identical keys, which is what makes results of the
+// deterministic simulation perfectly cacheable.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"meshpram/internal/core"
+	"meshpram/internal/fault"
+	"meshpram/internal/hmos"
+	"meshpram/internal/route"
+)
+
+// Enum spellings shared by the CLI flags, the JSON wire format and the
+// canonical encoding. The zero string of every enum field normalizes
+// to the explicit default, so omitted JSON fields and spelled-out
+// defaults produce the same canonical bytes.
+const (
+	// Backends (BackendBoth runs ideal and mesh and reports slowdown).
+	BackendBoth  = "both"
+	BackendIdeal = "ideal"
+	BackendMesh  = "mesh"
+)
+
+// Programs lists the PRAM programs a Scenario can name, in canonical
+// order. pram.BuildProgram accepts exactly these names (pinned by
+// TestScenarioProgramsBuildable).
+var Programs = []string{"compact", "listrank", "matvec", "oddevensort", "prefixsum", "reduce"}
+
+// Scenario is one serializable simulation request. The zero value is
+// not runnable; start from DefaultScenario or normalize with
+// Normalized. All fields are value types — a Scenario can be compared,
+// copied and hashed freely.
+type Scenario struct {
+	// Machine shape (hmos.Params).
+	Side int `json:"side"` // mesh side; n = side²
+	Q    int `json:"q"`    // copies per replication step (prime power ≥ 3)
+	D    int `json:"d"`    // memory dimension: M = f(q, d) variables
+	K    int `json:"k"`    // HMOS levels
+
+	// Workload.
+	Program string `json:"program"` // one of Programs
+	Size    int    `json:"size"`    // problem size (processors used)
+	Seed    int64  `json:"seed"`    // input seed
+
+	// Run shape.
+	Backend string `json:"backend,omitempty"` // both | ideal | mesh ("" = both)
+
+	// Protocol variants and ablations.
+	Policy         string `json:"policy,omitempty"` // majority | rowa ("" = majority)
+	Torus          bool   `json:"torus,omitempty"`
+	Sort           string `json:"sort,omitempty"` // shear | rotate ("" = shear)
+	DisableCulling bool   `json:"disable_culling,omitempty"`
+	DirectRouting  bool   `json:"direct_routing,omitempty"`
+	NetworkSort    bool   `json:"network_sort,omitempty"`
+
+	// Faults and self-healing.
+	Faults        string `json:"faults,omitempty"`         // static spec (fault.Parse)
+	FaultSchedule string `json:"fault_schedule,omitempty"` // dynamic timeline (fault.ParseSchedule)
+	Repair        string `json:"repair,omitempty"`         // off | eager | lazy ("" = off)
+	Retry         int    `json:"retry,omitempty"`          // checkpointed-retry budget
+
+	// Engine.
+	Engine  string `json:"engine,omitempty"` // event | cycle ("" = event)
+	Workers int    `json:"workers,omitempty"`
+
+	// Backend details.
+	IdealMemory int `json:"ideal_memory,omitempty"` // ideal backend words (0 = scheme M)
+
+	// Trace requests the rendered cost-ledger tree of the last PRAM
+	// step in the result. Part of the scenario (and therefore the cache
+	// key) so response bodies stay byte-identical per key.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// DefaultScenario is the smallest two-level instance running prefix
+// sums — the same defaults the pramsim CLI has always had.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Side: 9, Q: 3, D: 3, K: 2,
+		Program: "prefixsum", Size: 64, Seed: 1,
+		Backend: BackendBoth,
+		Policy:  "majority", Sort: "shear",
+		Repair: "off", Engine: "event",
+		Workers:     1,
+		IdealMemory: 1 << 20,
+	}
+}
+
+// Normalized returns a copy with every empty enum field replaced by
+// its explicit default spelling, so semantically equal scenarios have
+// equal canonical encodings.
+func (sc Scenario) Normalized() Scenario {
+	if sc.Backend == "" {
+		sc.Backend = BackendBoth
+	}
+	if sc.Policy == "" {
+		sc.Policy = "majority"
+	}
+	if sc.Sort == "" {
+		sc.Sort = "shear"
+	}
+	if sc.Repair == "" {
+		sc.Repair = "off"
+	}
+	if sc.Engine == "" {
+		sc.Engine = "event"
+	}
+	return sc
+}
+
+// fieldError is a Validate failure attributed to one Scenario field,
+// named by its JSON key.
+type fieldError struct {
+	Field string
+	Err   error
+}
+
+func (e *fieldError) Error() string { return fmt.Sprintf("scenario: %s: %v", e.Field, e.Err) }
+func (e *fieldError) Unwrap() error { return e.Err }
+
+func fieldErrf(field, format string, args ...any) error {
+	return &fieldError{Field: field, Err: fmt.Errorf(format, args...)}
+}
+
+// Validate checks the scenario without constructing a machine: enum
+// spellings, structural parameter bounds, and the fault specs (parsed
+// against the mesh side). Errors name the offending JSON field.
+// Parameter combinations that only the full HMOS construction can
+// judge (prime powers, tessellation divisibility) surface from
+// FromScenario.
+func (sc Scenario) Validate() error {
+	sc = sc.Normalized()
+	if sc.Side < 1 {
+		return fieldErrf("side", "mesh side %d must be ≥ 1", sc.Side)
+	}
+	if sc.Q < 3 {
+		return fieldErrf("q", "replication arity %d must be ≥ 3 (majority quorum needs ⌊q/2⌋+2 ≤ q)", sc.Q)
+	}
+	if sc.D < 2 {
+		return fieldErrf("d", "memory dimension %d must be ≥ 2", sc.D)
+	}
+	if sc.K < 1 {
+		return fieldErrf("k", "level count %d must be ≥ 1", sc.K)
+	}
+	if !knownProgram(sc.Program) {
+		return fieldErrf("program", "unknown program %q (want one of %s)", sc.Program, strings.Join(Programs, ", "))
+	}
+	if sc.Size < 1 {
+		return fieldErrf("size", "problem size %d must be ≥ 1", sc.Size)
+	}
+	if sc.Backend != BackendBoth && sc.Backend != BackendIdeal && sc.Backend != BackendMesh {
+		return fieldErrf("backend", "unknown backend %q (want both, ideal or mesh)", sc.Backend)
+	}
+	if sc.Backend != BackendIdeal && sc.Size > sc.Side*sc.Side {
+		return fieldErrf("size", "problem size %d exceeds the %d mesh processors (side %d)", sc.Size, sc.Side*sc.Side, sc.Side)
+	}
+	if _, err := parsePolicy(sc.Policy); err != nil {
+		return &fieldError{Field: "policy", Err: err}
+	}
+	if _, err := parseSortAlgo(sc.Sort); err != nil {
+		return &fieldError{Field: "sort", Err: err}
+	}
+	if _, err := core.ParseRepairPolicy(sc.Repair); err != nil {
+		return &fieldError{Field: "repair", Err: err}
+	}
+	if _, err := parseEngineMode(sc.Engine); err != nil {
+		return &fieldError{Field: "engine", Err: err}
+	}
+	if sc.Retry < 0 {
+		return fieldErrf("retry", "retry budget %d must be ≥ 0", sc.Retry)
+	}
+	if sc.Workers < 0 {
+		return fieldErrf("workers", "worker count %d must be ≥ 0", sc.Workers)
+	}
+	if sc.IdealMemory < 0 {
+		return fieldErrf("ideal_memory", "ideal memory %d words must be ≥ 0", sc.IdealMemory)
+	}
+	if sc.Faults != "" {
+		if _, err := fault.Parse(sc.Side, sc.Faults); err != nil {
+			return &fieldError{Field: "faults", Err: err}
+		}
+	}
+	if sc.FaultSchedule != "" {
+		if _, err := fault.ParseSchedule(sc.Side, sc.FaultSchedule); err != nil {
+			return &fieldError{Field: "fault_schedule", Err: err}
+		}
+	}
+	return nil
+}
+
+func knownProgram(name string) bool {
+	for _, p := range Programs {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical returns the byte-deterministic encoding of the scenario:
+// the normalized field set as sorted `key=value` lines, strings
+// quoted, no maps anywhere. Two runs over the same Scenario — or over
+// two Scenarios that normalize equal — produce identical bytes, so
+// the encoding doubles as the result-cache key material.
+func (sc Scenario) Canonical() []byte {
+	sc = sc.Normalized()
+	var b strings.Builder
+	// Keys in sorted order; keep this list alphabetical when adding
+	// fields (TestScenarioCanonicalCoversFields pins coverage).
+	put := func(key, val string) {
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+		b.WriteByte('\n')
+	}
+	put("backend", strconv.Quote(sc.Backend))
+	put("d", strconv.Itoa(sc.D))
+	put("direct_routing", strconv.FormatBool(sc.DirectRouting))
+	put("disable_culling", strconv.FormatBool(sc.DisableCulling))
+	put("engine", strconv.Quote(sc.Engine))
+	put("fault_schedule", strconv.Quote(sc.FaultSchedule))
+	put("faults", strconv.Quote(sc.Faults))
+	put("ideal_memory", strconv.Itoa(sc.IdealMemory))
+	put("k", strconv.Itoa(sc.K))
+	put("network_sort", strconv.FormatBool(sc.NetworkSort))
+	put("policy", strconv.Quote(sc.Policy))
+	put("program", strconv.Quote(sc.Program))
+	put("q", strconv.Itoa(sc.Q))
+	put("repair", strconv.Quote(sc.Repair))
+	put("retry", strconv.Itoa(sc.Retry))
+	put("seed", strconv.FormatInt(sc.Seed, 10))
+	put("side", strconv.Itoa(sc.Side))
+	put("size", strconv.Itoa(sc.Size))
+	put("sort", strconv.Quote(sc.Sort))
+	put("torus", strconv.FormatBool(sc.Torus))
+	put("trace", strconv.FormatBool(sc.Trace))
+	put("workers", strconv.Itoa(sc.Workers))
+	return []byte(b.String())
+}
+
+// Key returns the hex SHA-256 of Canonical — the result-cache key of
+// the scenario.
+func (sc Scenario) Key() string {
+	sum := sha256.Sum256(sc.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// Params returns the HMOS parameters of the scenario.
+func (sc Scenario) Params() hmos.Params {
+	return hmos.Params{Side: sc.Side, Q: sc.Q, D: sc.D, K: sc.K}
+}
+
+// FromScenario bridges a Scenario onto the functional options and
+// builds the validated Config. The run-level fields (program, size,
+// seed, backend, trace) are not part of a Config — callers execute
+// them through pram.BuildProgram and pram.NewBackend. Extra options
+// are applied after the scenario's (e.g. UseScheme to reuse a cached
+// scheme, TraceSink to attach a ledger sink).
+func FromScenario(sc Scenario, extra ...Option) (Config, error) {
+	sc = sc.Normalized()
+	if err := sc.Validate(); err != nil {
+		return Config{}, err
+	}
+	policy, err := parsePolicy(sc.Policy)
+	if err != nil {
+		return Config{}, &fieldError{Field: "policy", Err: err}
+	}
+	algo, err := parseSortAlgo(sc.Sort)
+	if err != nil {
+		return Config{}, &fieldError{Field: "sort", Err: err}
+	}
+	repair, err := core.ParseRepairPolicy(sc.Repair)
+	if err != nil {
+		return Config{}, &fieldError{Field: "repair", Err: err}
+	}
+	mode, err := parseEngineMode(sc.Engine)
+	if err != nil {
+		return Config{}, &fieldError{Field: "engine", Err: err}
+	}
+	opts := []Option{
+		Side(sc.Side), Q(sc.Q), D(sc.D), K(sc.K),
+		Policy(policy), SortAlgo(algo), Repair(repair), EngineMode(mode),
+		Workers(sc.Workers), Retry(sc.Retry),
+		FaultSpec(sc.Faults), FaultScheduleSpec(sc.FaultSchedule),
+		IdealMemory(sc.IdealMemory),
+	}
+	if sc.Torus {
+		opts = append(opts, Torus())
+	}
+	if sc.DisableCulling {
+		opts = append(opts, DisableCulling())
+	}
+	if sc.DirectRouting {
+		opts = append(opts, DirectRouting())
+	}
+	if sc.NetworkSort {
+		opts = append(opts, NetworkSort())
+	}
+	opts = append(opts, extra...)
+	return New(opts...)
+}
+
+func parsePolicy(s string) (core.AccessPolicy, error) {
+	switch s {
+	case "", "majority":
+		return core.MajorityPolicy, nil
+	case "rowa":
+		return core.ReadOneWriteAllPolicy, nil
+	}
+	return 0, fmt.Errorf("unknown access policy %q (want majority or rowa)", s)
+}
+
+func parseSortAlgo(s string) (route.SortAlgo, error) {
+	switch s {
+	case "", "shear":
+		return route.ShearSort, nil
+	case "rotate":
+		return route.RotateSort, nil
+	}
+	return 0, fmt.Errorf("unknown sort algorithm %q (want shear or rotate)", s)
+}
+
+func parseEngineMode(s string) (route.EngineMode, error) {
+	switch s {
+	case "", "event":
+		return route.ModeEvent, nil
+	case "cycle":
+		return route.ModeCycle, nil
+	}
+	return 0, fmt.Errorf("unknown engine mode %q (want event or cycle)", s)
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// goldenCanonical pins the canonical encoding of DefaultScenario. Any
+// change to the field set, key order, or value formatting breaks every
+// cached result key in the wild — change it deliberately or not at all.
+const goldenCanonical = `backend="both"
+d=3
+direct_routing=false
+disable_culling=false
+engine="event"
+fault_schedule=""
+faults=""
+ideal_memory=1048576
+k=2
+network_sort=false
+policy="majority"
+program="prefixsum"
+q=3
+repair="off"
+retry=0
+seed=1
+side=9
+size=64
+sort="shear"
+torus=false
+trace=false
+workers=1
+`
+
+// goldenKey = hex(sha256(goldenCanonical)).
+const goldenKey = "1f3ec17becf8cb180e68e0b1f5c607d56d2f6b7c30ce412457bc09794f97b7f3"
+
+func TestCanonicalGolden(t *testing.T) {
+	sc := DefaultScenario()
+	if got := string(sc.Canonical()); got != goldenCanonical {
+		t.Errorf("Canonical() drifted:\ngot:\n%s\nwant:\n%s", got, goldenCanonical)
+	}
+	if got := sc.Key(); got != goldenKey {
+		t.Errorf("Key() = %s, want %s", got, goldenKey)
+	}
+}
+
+func TestCanonicalStable(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Faults = `link:5-6;rand:module=0.02,seed=7`
+	sc.FaultSchedule = "@3 module:40"
+	sc.Trace = true
+	a := sc.Canonical()
+	for i := 0; i < 100; i++ {
+		if b := sc.Canonical(); !bytes.Equal(a, b) {
+			t.Fatalf("Canonical() not stable on run %d:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+	if sc.Key() != sc.Key() {
+		t.Fatal("Key() not stable")
+	}
+}
+
+// TestCanonicalCoversFields pins that every Scenario field appears in
+// the canonical encoding under its JSON name — adding a field without
+// extending Canonical would silently alias distinct scenarios to one
+// cache key.
+func TestCanonicalCoversFields(t *testing.T) {
+	lines := strings.Split(strings.TrimRight(goldenCanonical, "\n"), "\n")
+	keys := make(map[string]bool, len(lines))
+	prev := ""
+	for _, l := range lines {
+		k, _, ok := strings.Cut(l, "=")
+		if !ok {
+			t.Fatalf("malformed canonical line %q", l)
+		}
+		if k <= prev {
+			t.Errorf("canonical keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+		keys[k] = true
+	}
+	rt := reflect.TypeOf(Scenario{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+		if tag == "" || tag == "-" {
+			t.Errorf("field %s has no JSON tag", rt.Field(i).Name)
+			continue
+		}
+		if !keys[tag] {
+			t.Errorf("field %s (json %q) missing from Canonical()", rt.Field(i).Name, tag)
+		}
+		delete(keys, tag)
+	}
+	for k := range keys {
+		t.Errorf("canonical key %q has no Scenario field", k)
+	}
+}
+
+func TestNormalizedEquivalence(t *testing.T) {
+	// Omitted enums and spelled-out defaults must produce the same key.
+	implicit := Scenario{Side: 9, Q: 3, D: 3, K: 2, Program: "prefixsum", Size: 64, Seed: 1, Workers: 1, IdealMemory: 1 << 20}
+	explicit := DefaultScenario()
+	if implicit.Key() != explicit.Key() {
+		t.Errorf("implicit defaults key %s != explicit defaults key %s", implicit.Key(), explicit.Key())
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Program = "matvec"
+	sc.Size = 8
+	sc.Faults = "module:40"
+	sc.FaultSchedule = "@3 module:41;@7 revive-module:41"
+	sc.Repair = "eager"
+	sc.Retry = 2
+	sc.Torus = true
+	sc.NetworkSort = true
+	sc.Trace = true
+
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sc {
+		t.Errorf("round trip changed the scenario:\n%+v\nvs\n%+v", back, sc)
+	}
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Errorf("re-marshal not byte-stable:\n%s\nvs\n%s", data, data2)
+	}
+	if back.Key() != sc.Key() {
+		t.Errorf("round trip changed the key: %s vs %s", back.Key(), sc.Key())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mod := func(f func(*Scenario)) Scenario {
+		sc := DefaultScenario()
+		f(&sc)
+		return sc
+	}
+	cases := []struct {
+		name  string
+		sc    Scenario
+		field string // must appear in the error
+	}{
+		{"q too small", mod(func(s *Scenario) { s.Q = 2 }), "q"},
+		{"side zero", mod(func(s *Scenario) { s.Side = 0 }), "side"},
+		{"d too small", mod(func(s *Scenario) { s.D = 1 }), "d"},
+		{"k zero", mod(func(s *Scenario) { s.K = 0 }), "k"},
+		{"unknown program", mod(func(s *Scenario) { s.Program = "quicksort" }), "program"},
+		{"size zero", mod(func(s *Scenario) { s.Size = 0 }), "size"},
+		{"size exceeds mesh", mod(func(s *Scenario) { s.Size = 100 }), "size"},
+		{"bad backend", mod(func(s *Scenario) { s.Backend = "gpu" }), "backend"},
+		{"bad policy", mod(func(s *Scenario) { s.Policy = "quorumish" }), "policy"},
+		{"bad sort", mod(func(s *Scenario) { s.Sort = "bubble" }), "sort"},
+		{"bad repair", mod(func(s *Scenario) { s.Repair = "eventually" }), "repair"},
+		{"bad engine", mod(func(s *Scenario) { s.Engine = "warp" }), "engine"},
+		{"negative retry", mod(func(s *Scenario) { s.Retry = -1 }), "retry"},
+		{"negative workers", mod(func(s *Scenario) { s.Workers = -1 }), "workers"},
+		{"negative ideal memory", mod(func(s *Scenario) { s.IdealMemory = -1 }), "ideal_memory"},
+		{"malformed faults", mod(func(s *Scenario) { s.Faults = "link:banana" }), "faults"},
+		{"malformed fault schedule", mod(func(s *Scenario) { s.FaultSchedule = "@x module:40" }), "fault_schedule"},
+		{"fault schedule out of range", mod(func(s *Scenario) { s.FaultSchedule = "@3 module:999" }), "fault_schedule"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sc.Validate()
+			if err == nil {
+				t.Fatalf("Validate() accepted %+v", tc.sc)
+			}
+			var fe *fieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a fieldError", err)
+			}
+			if fe.Field != tc.field {
+				t.Errorf("error attributed to field %q, want %q (%v)", fe.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("error %q does not surface field name %q", err, tc.field)
+			}
+		})
+	}
+	// "size exceeds mesh" is relaxed for the ideal backend.
+	sc := DefaultScenario()
+	sc.Backend = BackendIdeal
+	sc.Size = 100
+	if err := sc.Validate(); err != nil {
+		t.Errorf("ideal backend should allow size > side²: %v", err)
+	}
+}
+
+func TestFromScenarioBridges(t *testing.T) {
+	sc := DefaultScenario()
+	sc.Policy = "rowa"
+	sc.Sort = "rotate"
+	sc.Engine = "cycle"
+	sc.Repair = "lazy"
+	sc.Retry = 3
+	sc.Workers = 2
+	sc.Torus = true
+	sc.DisableCulling = true
+	cfg, err := FromScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Params; got != sc.Params() {
+		t.Errorf("params %+v, want %+v", got, sc.Params())
+	}
+	if cfg.Retry != 3 {
+		t.Errorf("retry %d, want 3", cfg.Retry)
+	}
+	if !cfg.Core.Torus {
+		t.Error("torus not bridged")
+	}
+	if !cfg.Core.DisableCulling {
+		t.Error("disable_culling not bridged")
+	}
+	if cfg.Core.Workers != 2 {
+		t.Errorf("workers %d, want 2", cfg.Core.Workers)
+	}
+
+	bad := DefaultScenario()
+	bad.Q = 2
+	if _, err := FromScenario(bad); err == nil {
+		t.Error("FromScenario accepted q=2")
+	}
+}
+
+func TestUseSchemeParamMismatch(t *testing.T) {
+	cfg, err := New(Side(9), Q(3), D(3), K(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cfg.Scheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Side(9), Q(3), D(3), K(1), UseScheme(s)); err == nil {
+		t.Error("New accepted a scheme built for different params")
+	}
+	if _, err := New(Side(9), Q(3), D(3), K(2), UseScheme(s)); err != nil {
+		t.Errorf("New rejected a matching scheme: %v", err)
+	}
+	if _, err := New(UseScheme(nil)); err == nil {
+		t.Error("New accepted a nil scheme")
+	}
+}
+
+func TestProgramsSorted(t *testing.T) {
+	if !sort.StringsAreSorted(Programs) {
+		t.Errorf("Programs not sorted: %v", Programs)
+	}
+}

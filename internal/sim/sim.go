@@ -200,6 +200,22 @@ func TraceSink(s trace.Sink) Option {
 	}
 }
 
+// UseScheme installs a pre-constructed HMOS scheme, skipping the
+// (expensive, deterministic) hmos.New construction in New. The
+// scheme's parameters must match the configured Side/Q/D/K exactly —
+// a mismatch is a construction error, never a silent rebuild. Schemes
+// are immutable after construction, so a warm pool (internal/serve)
+// can reuse one across many simulator builds.
+func UseScheme(s *hmos.Scheme) Option {
+	return func(c *Config) error {
+		if s == nil {
+			return fmt.Errorf("sim: UseScheme requires a non-nil scheme")
+		}
+		c.scheme = s
+		return nil
+	}
+}
+
 // IdealMemory sets the ideal backend's memory size in words; the mesh
 // backend ignores it. Use when a program's address space exceeds the
 // scheme's M on ideal-only runs.
@@ -248,11 +264,18 @@ func New(opts ...Option) (Config, error) {
 		}
 		c.Core.Schedule = sch
 	}
-	s, err := hmos.New(c.Params)
-	if err != nil {
-		return Config{}, fmt.Errorf("sim: %w", err)
+	if c.scheme != nil {
+		if c.scheme.Params != c.Params {
+			return Config{}, fmt.Errorf("sim: UseScheme params %+v do not match configured params %+v",
+				c.scheme.Params, c.Params)
+		}
+	} else {
+		s, err := hmos.New(c.Params)
+		if err != nil {
+			return Config{}, fmt.Errorf("sim: %w", err)
+		}
+		c.scheme = s
 	}
-	c.scheme = s
 	if f := c.Core.Faults; f != nil && f.Side() != c.Params.Side {
 		return Config{}, fmt.Errorf("sim: fault map side %d does not match mesh side %d",
 			f.Side(), c.Params.Side)
@@ -295,8 +318,15 @@ func (c Config) schemeOf() (*hmos.Scheme, error) {
 
 // NewSimulator builds the core protocol simulator for this
 // configuration and wires the registered trace sinks onto its ledger.
+// The scheme constructed (or installed via UseScheme) during New is
+// reused, so repeated simulator builds from one Config — or from
+// Configs sharing a UseScheme scheme — skip the HMOS construction.
 func (c Config) NewSimulator() (*core.Simulator, error) {
-	s, err := core.New(c.Params, c.Core)
+	scheme, err := c.schemeOf()
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewWithScheme(scheme, c.Core)
 	if err != nil {
 		return nil, err
 	}
