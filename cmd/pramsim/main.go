@@ -9,7 +9,8 @@
 //	        [-backend both|ideal|mesh] [-workers N] [-policy majority|rowa]
 //	        [-sort shear|rotate] [-torus] [-no-culling] [-direct-routing]
 //	        [-network-sort] [-faults SPEC] [-fault-schedule SPEC]
-//	        [-repair off|eager|lazy] [-retry N] [-engine event|cycle]
+//	        [-fault-view global|local] [-repair off|eager|lazy]
+//	        [-retry N] [-engine event|cycle]
 //	        [-ideal-memory WORDS] [-trace]
 //
 // The flag set is an overlay onto a sim.Scenario — the same
@@ -57,6 +58,7 @@ func scenarioFlags(fs *flag.FlagSet, sc *sim.Scenario) map[string]string {
 	fs.BoolVar(&sc.NetworkSort, "network-sort", sc.NetworkSort, "run the sorting network round by round")
 	fs.StringVar(&sc.Faults, "faults", sc.Faults, "static fault spec (e.g. \"link:5-6;rand:module=0.02,seed=7\")")
 	fs.StringVar(&sc.FaultSchedule, "fault-schedule", sc.FaultSchedule, "dynamic fault timeline (e.g. \"@3 module:40;@7 revive-module:40\")")
+	fs.StringVar(&sc.FaultView, "fault-view", sc.FaultView, "fault knowledge model: global (omniscient) | local (gossip-propagated, stale-view detours)")
 	fs.StringVar(&sc.Repair, "repair", sc.Repair, "self-healing scrub policy: off | eager | lazy")
 	fs.IntVar(&sc.Retry, "retry", sc.Retry, "checkpointed-retry budget per PRAM step (0 = off)")
 	fs.StringVar(&sc.Engine, "engine", sc.Engine, "routing engine: event (epoch-skip) | cycle (reference); results are bit-identical")
@@ -70,7 +72,8 @@ func scenarioFlags(fs *flag.FlagSet, sc *sim.Scenario) map[string]string {
 		"sort": "sort", "no-culling": "disable_culling",
 		"direct-routing": "direct_routing", "network-sort": "network_sort",
 		"faults": "faults", "fault-schedule": "fault_schedule",
-		"repair": "repair", "retry": "retry", "engine": "engine",
+		"fault-view": "fault_view",
+		"repair":     "repair", "retry": "retry", "engine": "engine",
 		"workers": "workers", "ideal-memory": "ideal_memory",
 		"trace": "trace",
 	}
@@ -166,10 +169,14 @@ func render(w *os.File, res *serve.Result) {
 		if rs := m.Repair; rs != nil {
 			fmt.Fprintf(w, "repair:      %d module deaths, %d scrubs, %d copies rebuilt, %d residual, %d remapped, %d repair steps\n",
 				rs.ModuleDeaths, rs.Scrubs, rs.Repaired, rs.Residual, rs.Remapped, rs.Steps)
+			if sc.FaultView == "local" {
+				fmt.Fprintf(w, "gossip:      %d/%d deaths discovered by notice, %d steps death-to-discovery\n",
+					rs.Discovered, rs.ModuleDeaths, rs.DiscoverySteps)
+			}
 		}
 		if rec := m.Recovery; rec != nil {
-			fmt.Fprintf(w, "retry:       %d retries, %d steps recovered, %d exhausted, %d backoff steps\n",
-				rec.Retries, rec.Recovered, rec.Exhausted, rec.Backoff)
+			fmt.Fprintf(w, "retry:       %d retries, %d steps recovered, %d exhausted, %d capped, %d backoff steps\n",
+				rec.Retries, rec.Recovered, rec.Exhausted, rec.Capped, rec.Backoff)
 		}
 		fmt.Fprintf(w, "verdict:     %s\n", m.Verdict)
 		if m.Trace != "" {

@@ -30,6 +30,7 @@ import (
 
 	"meshpram/internal/culling"
 	"meshpram/internal/fault"
+	"meshpram/internal/faultview"
 	"meshpram/internal/hmos"
 	"meshpram/internal/mesh"
 	"meshpram/internal/route"
@@ -121,6 +122,21 @@ type Config struct {
 	// and whether the scrub pass rebuilds copies lost to module deaths
 	// from the surviving majority. Default RepairOff.
 	Repair RepairPolicy
+	// FaultView selects how routers and the repair trigger learn about
+	// faults. faultview.Global (default) is the omniscient model: every
+	// hop consults the live fault map instantly — bit-identical to the
+	// pre-faultview simulator. faultview.Local gives every node a
+	// private view updated only by deterministic hop-neighbor gossip
+	// (internal/faultview): schedule events are witnessed at the fault
+	// site, propagate one hop per routing cycle (plus one round per step
+	// boundary), routers detour on their possibly-stale beliefs with
+	// bounded probe/backoff rediscovery, and a module death triggers a
+	// scrub only once its death notice has reached the coordinator
+	// (node 0). Ignored on fault-free configurations.
+	FaultView faultview.Mode
+	// FaultViewSeed seeds the local view's witness tie-breaks (see
+	// faultview.New). Only meaningful with FaultView == faultview.Local.
+	FaultViewSeed int64
 }
 
 // StepStats is the per-PRAM-step cost breakdown and diagnostics.
@@ -250,6 +266,14 @@ type Simulator struct {
 	remap   map[int]int    // dead module → spare holding its relocated copies
 	quar    map[int64]bool // copy slots with lost data; excluded until rebuilt
 	pending []int          // dead modules awaiting a scrub
+
+	// Local fault knowledge (FaultView == faultview.Local only; nil in
+	// global mode). view is the gossip state shared by both routing
+	// engines; notified holds module deaths whose notice has not yet
+	// reached the scrub coordinator. Both travel in snapshots (Local
+	// images append a second gob value; see snapshot.go).
+	view     *faultview.View
+	notified []notifiedDeath
 	//detlint:ignore snapshotfields lazily derived from the static scheme
 	hostIdx [][]hostRef // original home proc → copies stored there (lazy)
 	//detlint:ignore snapshotfields accumulated diagnostics; counters intentionally survive rollbacks
@@ -291,6 +315,9 @@ func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
 	if cfg.Repair < RepairOff || cfg.Repair > RepairLazy {
 		return nil, fmt.Errorf("core: invalid repair policy %d", cfg.Repair)
 	}
+	if cfg.FaultView > faultview.Local {
+		return nil, fmt.Errorf("core: invalid fault view %d", cfg.FaultView)
+	}
 	live := cfg.Faults
 	if !cfg.Schedule.Empty() {
 		if cfg.Schedule.Side() != p.Side {
@@ -324,8 +351,21 @@ func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
 	if !cfg.Schedule.Empty() {
 		sim.eng.SetHorizonSource(scheduleHorizon{sim})
 	}
+	if cfg.FaultView == faultview.Local && live != nil {
+		// Beliefs boot knowing the static fault map (cfg.Faults); only
+		// schedule events must be witnessed and disseminated. The view is
+		// shared by the protocol and repair engines — they never route
+		// concurrently, and gossip rounds advance with whichever is
+		// running, so propagation latency tracks total routing cycles.
+		sim.view = faultview.New(p.Side, cfg.Torus, cfg.Faults, cfg.FaultViewSeed)
+		sim.eng.SetFaultView(sim.view)
+	}
 	return sim, nil
 }
+
+// FaultView returns the simulator's local fault view, or nil when the
+// configuration runs the global (omniscient) model.
+func (sim *Simulator) FaultView() *faultview.View { return sim.view }
 
 // MustNew is New but panics on error.
 func MustNew(p hmos.Params, cfg Config) *Simulator {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"meshpram/internal/fault"
+	"meshpram/internal/faultview"
 	"meshpram/internal/hmos"
 	"meshpram/internal/route"
 )
@@ -31,13 +32,20 @@ type eventMatrixTrace struct {
 // runEventMatrix executes a seeded mixed read/write workload and
 // captures every observable output.
 func runEventMatrix(t *testing.T, mode route.EngineMode, torus bool, fm *fault.Map, sch *fault.Schedule, workers int) eventMatrixTrace {
+	return runViewMatrix(t, mode, faultview.Global, torus, fm, sch, workers)
+}
+
+// runViewMatrix is runEventMatrix with an explicit fault-view mode.
+func runViewMatrix(t *testing.T, mode route.EngineMode, view faultview.Mode, torus bool, fm *fault.Map, sch *fault.Schedule, workers int) eventMatrixTrace {
 	t.Helper()
 	cfg := Config{
-		Workers:    workers,
-		Torus:      torus,
-		EngineMode: mode,
-		Schedule:   sch,
-		Repair:     RepairEager,
+		Workers:       workers,
+		Torus:         torus,
+		EngineMode:    mode,
+		Schedule:      sch,
+		Repair:        RepairEager,
+		FaultView:     view,
+		FaultViewSeed: 1234,
 	}
 	if fm != nil {
 		cfg.Faults = fm.Clone()
@@ -150,5 +158,39 @@ func TestEventCycleSimulationIdentity(t *testing.T) {
 				requireSameTrace(t, label, cyc, evt)
 			}
 		}
+	}
+}
+
+// TestLocalViewSimulationIdentity is the local-fault-view half of the
+// acceptance matrix: under FaultView=Local with a churn schedule, runs
+// are bit-identical (read results, StepStats, fault reports, snapshot
+// bytes including the gossip view state) across worker widths {1,4,8},
+// across double runs of the same width, and between route.ModeCycle
+// and route.ModeEvent — for both mesh and torus topologies.
+func TestLocalViewSimulationIdentity(t *testing.T) {
+	for _, torus := range []bool{false, true} {
+		ref := runViewMatrix(t, route.ModeCycle, faultview.Local, torus, nil, churnEventSchedule(), 1)
+		if len(ref.snapshot) == 0 {
+			t.Fatal("local-view snapshot is empty")
+		}
+		for _, workers := range []int{1, 4, 8} {
+			for run := 0; run < 2; run++ {
+				label := fmt.Sprintf("torus=%v/local-churn/workers=%d/run=%d", torus, workers, run)
+				got := runViewMatrix(t, route.ModeCycle, faultview.Local, torus, nil, churnEventSchedule(), workers)
+				requireSameTrace(t, label, ref, got)
+				evt := runViewMatrix(t, route.ModeEvent, faultview.Local, torus, nil, churnEventSchedule(), workers)
+				requireSameTrace(t, label+"/event", ref, evt)
+			}
+		}
+		// Static faults are boot knowledge under the local view: beliefs
+		// start exact, so the run must match the global view bit for bit
+		// — except for the snapshot, which appends the (empty-log) view
+		// state in local mode.
+		glob := runViewMatrix(t, route.ModeEvent, faultview.Global, torus, staticEventFaults(), nil, 4)
+		loc := runViewMatrix(t, route.ModeEvent, faultview.Local, torus, staticEventFaults(), nil, 4)
+		label := fmt.Sprintf("torus=%v/local-static-vs-global", torus)
+		loc.snapshot = loc.snapshot[:0]
+		glob.snapshot = glob.snapshot[:0]
+		requireSameTrace(t, label, glob, loc)
 	}
 }

@@ -83,6 +83,22 @@ type RepairStats struct {
 	Remapped     int   // dead modules whose copies were relocated to a spare
 	Lost         int   // repair packets lost en route (copies left for the next pass)
 	Steps        int64 // mesh steps charged to the repair phase by scrubs
+
+	// Local fault view only (faultview.Local): module deaths become
+	// scrub-eligible when their death notice reaches the coordinator,
+	// not when they happen. Discovered counts the releases;
+	// DiscoverySteps accumulates the PRAM-step lag between each death
+	// and its discovery (the repair-delay race of eager/lazy policies).
+	Discovered     int
+	DiscoverySteps int64
+}
+
+// notifiedDeath is a module death waiting for its notice to propagate
+// to the scrub coordinator (node 0) under the local fault view.
+type notifiedDeath struct {
+	host     int   // dead module (post-remap resolution at death time)
+	notice   int   // gossip log index of the death notice
+	diedStep int64 // sim.now when the death was applied
 }
 
 // hostRef locates one copy by (variable, leaf) in the inverted
@@ -150,10 +166,65 @@ func (sim *Simulator) advanceSchedule() error {
 			return err
 		}
 	}
+	if sim.view != nil {
+		// One gossip round per step boundary, so notices keep moving even
+		// across steps that route nothing; then check whether any death
+		// notice has reached the coordinator. The observe-only span
+		// records dissemination diagnostics without charging steps.
+		sim.view.Tick(sim.faults)
+		sim.releaseNotified()
+		vs := sim.view.Stats()
+		gs := sim.ld.Begin("faultview", trace.PhaseGossip)
+		gs.SetAttr("round", vs.Round)
+		gs.SetAttr("notices", vs.Notices)
+		gs.SetAttr("sent", vs.Sent)
+		gs.SetAttr("applied", vs.Applied)
+		gs.SetAttr("stale-max", vs.StaleMax)
+		for i, h := range vs.Hist {
+			if h != 0 {
+				gs.SetAttr(fmt.Sprintf("stale-hist-%d", i), h)
+			}
+		}
+		gs.End()
+	}
 	if sim.cfg.Repair == RepairEager && len(sim.pending) > 0 {
 		return sim.scrub()
 	}
 	return nil
+}
+
+// observeEvent lets a witness node create the gossip notice for one
+// just-applied schedule event. Returns the notice's log index, or -1
+// in global mode or when no live witness saw the event (an unwitnessed
+// fault stays unknown until routing probes rediscover it).
+func (sim *Simulator) observeEvent(ev fault.Event) int {
+	if sim.view == nil {
+		return -1
+	}
+	if idx, ok := sim.view.ObserveEvent(ev, sim.faults); ok {
+		return idx
+	}
+	return -1
+}
+
+// releaseNotified moves module deaths whose notice has propagated to
+// the scrub coordinator (node 0) onto the pending scrub list, charging
+// the discovery lag to the repair statistics.
+func (sim *Simulator) releaseNotified() {
+	if len(sim.notified) == 0 {
+		return
+	}
+	kept := sim.notified[:0]
+	for _, nd := range sim.notified {
+		if sim.view.KnownAt(0, nd.notice) {
+			sim.pending = append(sim.pending, nd.host)
+			sim.rstats.Discovered++
+			sim.rstats.DiscoverySteps += sim.now - nd.diedStep
+		} else {
+			kept = append(kept, nd)
+		}
+	}
+	sim.notified = kept
 }
 
 // applyEvent applies one schedule event, watching for the
@@ -165,19 +236,37 @@ func (sim *Simulator) applyEvent(ev fault.Event) error {
 	case fault.EvKillNode, fault.EvKillModule:
 		wasDead := f.ModuleDead(ev.P)
 		f.Apply(ev)
+		idx := sim.observeEvent(ev)
 		if !wasDead && f.ModuleDead(ev.P) {
-			return sim.moduleDied(ev.P)
+			return sim.moduleDied(ev.P, idx)
 		}
 	default:
 		f.Apply(ev)
+		sim.observeEvent(ev)
 	}
 	return nil
 }
 
-// moduleDied records a fresh module death and loses its data.
-func (sim *Simulator) moduleDied(p int) error {
+// moduleDied records a fresh module death and loses its data. The data
+// loss is physics and happens immediately in every fault-view mode;
+// under the local view the scrub trigger is deferred until the death
+// notice (log index noticeIdx) reaches the coordinator — the pending
+// entry moves to the notified queue. A death no live neighbor
+// witnessed (noticeIdx < 0) is never discovered: its copies stay
+// quarantined until routing probes or a RepairNow intervention find
+// the module.
+func (sim *Simulator) moduleDied(p int, noticeIdx int) error {
 	sim.rstats.ModuleDeaths++
-	return sim.loseModuleData(p)
+	if err := sim.loseModuleData(p); err != nil {
+		return err
+	}
+	if sim.view != nil {
+		sim.pending = sim.pending[:len(sim.pending)-1]
+		if noticeIdx >= 0 {
+			sim.notified = append(sim.notified, notifiedDeath{host: p, notice: noticeIdx, diedStep: sim.now})
+		}
+	}
+	return nil
 }
 
 // loseModuleData implements the data-loss fiction for module p: delete
@@ -418,6 +507,12 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 	if sim.reng == nil {
 		sim.reng = route.NewEngine[rpkt](m)
 		sim.rbuf = make([][]rpkt, m.N)
+		if sim.view != nil {
+			// Repair traffic routes on the same local knowledge as the
+			// protocol: scrub packets detour on beliefs and keep gossip
+			// rounds advancing while they travel.
+			sim.reng.SetFaultView(sim.view)
+		}
 	}
 	delivered, cycles, lost := sim.reng.RouteFault(
 		sim.rbuf, m.Full(), items, func(p rpkt) int { return p.dest })
@@ -460,6 +555,11 @@ func (sim *Simulator) RepairNow() error {
 	}
 	sim.ensureHostIdx()
 	sim.pending = sim.pending[:0]
+	// A RepairNow is a system-level intervention with global knowledge:
+	// it re-derives the dead set from the live map below, so deaths
+	// still waiting for their notice to propagate are covered here and
+	// must not trigger a second scrub when the notice lands.
+	sim.notified = sim.notified[:0]
 	seen := make(map[int]bool)
 	for home := 0; home < sim.M.N; home++ {
 		if len(sim.hostIdx[home]) == 0 {

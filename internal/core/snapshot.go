@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"meshpram/internal/faultview"
 	"meshpram/internal/hmos"
 )
 
@@ -46,6 +47,18 @@ type procImage struct {
 	TSs   []int64
 }
 
+// viewSnapshot is the second gob value of a local-fault-view image:
+// the gossip state (notice log, per-node knowledge bitsets, round and
+// dissemination counters) plus the coordinator's notified queue as
+// parallel slices. Global-mode images do not carry it, so their byte
+// stream is unchanged by the faultview feature.
+type viewSnapshot struct {
+	View           faultview.Image
+	NotifiedHost   []int
+	NotifiedNotice []int
+	NotifiedStep   []int64
+}
+
 // Save writes the simulator's memory state (copies, timestamps, and the
 // step clock) to w. Step accounting is not part of the image. Identical
 // state encodes to identical bytes (see the package comment above).
@@ -83,15 +96,33 @@ func (sim *Simulator) Save(w io.Writer) error {
 		}
 		img.Procs = append(img.Procs, pi)
 	}
-	return gob.NewEncoder(w).Encode(&img)
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&img); err != nil {
+		return err
+	}
+	if sim.view == nil {
+		return nil
+	}
+	vi := viewSnapshot{View: sim.view.Image()}
+	for _, nd := range sim.notified {
+		vi.NotifiedHost = append(vi.NotifiedHost, nd.host)
+		vi.NotifiedNotice = append(vi.NotifiedNotice, nd.notice)
+		vi.NotifiedStep = append(vi.NotifiedStep, nd.diedStep)
+	}
+	return enc.Encode(&vi)
 }
 
 // Load restores a memory image previously written by Save into this
 // simulator. The HMOS parameters must match exactly (the copy layout is
-// parameter-dependent); the current memory content is replaced.
+// parameter-dependent); the current memory content is replaced. A
+// local-fault-view simulator additionally restores the gossip state
+// (the image must come from a local-view Save); the live fault map is
+// never part of the image — events already applied stay applied, and
+// the restored beliefs are re-validated against the current truth.
 func (sim *Simulator) Load(r io.Reader) error {
+	dec := gob.NewDecoder(r)
 	var img snapshot
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+	if err := dec.Decode(&img); err != nil {
 		return fmt.Errorf("core: decoding snapshot: %w", err)
 	}
 	if img.Params != sim.S.Params {
@@ -131,5 +162,24 @@ func (sim *Simulator) Load(r io.Reader) error {
 		}
 	}
 	sim.pending = append(sim.pending[:0], img.Pending...)
+	if sim.view == nil {
+		return nil
+	}
+	var vi viewSnapshot
+	if err := dec.Decode(&vi); err != nil {
+		return fmt.Errorf("core: decoding fault-view snapshot: %w", err)
+	}
+	if len(vi.NotifiedHost) != len(vi.NotifiedNotice) || len(vi.NotifiedHost) != len(vi.NotifiedStep) {
+		return fmt.Errorf("core: snapshot notified queue is ragged")
+	}
+	if err := sim.view.Restore(vi.View, sim.faults); err != nil {
+		return fmt.Errorf("core: restoring fault view: %w", err)
+	}
+	sim.notified = sim.notified[:0]
+	for i, h := range vi.NotifiedHost {
+		sim.notified = append(sim.notified, notifiedDeath{
+			host: h, notice: vi.NotifiedNotice[i], diedStep: vi.NotifiedStep[i],
+		})
+	}
 	return nil
 }

@@ -103,6 +103,7 @@ var All = []Experiment{
 	{"E18", "Lineage: [PP93a] on the MPC (contention only) vs this paper on the mesh", RunE18},
 	{"FAULT", "Extension: graceful degradation — slowdown and unrecoverable variables vs static fault rate", RunFault},
 	{"RECOVER", "Extension: self-healing — churn rate vs repaired copies, residual loss and repair cost", RunRecover},
+	{"GOSSIP", "Extension: local fault knowledge — discovery latency, notice staleness and extra loss vs the omniscient baseline", RunGossip},
 	{"ROUTE", "Infrastructure: allocation-lean greedy routing engine — ns/op, allocs/op and cycles vs the pre-engine baseline", RunRoute},
 }
 

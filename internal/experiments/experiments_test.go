@@ -46,8 +46,8 @@ func TestIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 21 {
-		t.Fatalf("%d experiments, want 21 (DESIGN.md §4 plus FAULT, RECOVER and ROUTE)", len(All))
+	if len(All) != 22 {
+		t.Fatalf("%d experiments, want 22 (DESIGN.md §4 plus FAULT, RECOVER, GOSSIP and ROUTE)", len(All))
 	}
 }
 

@@ -59,6 +59,15 @@ func FuzzParseSchedule(f *testing.F) {
 		"@x module:1",
 		"@0 gremlin:1",
 		"churn:until=99999999999",
+		// Revive-before-notice orderings: a revive scheduled before (or
+		// at the same step as) the death it undoes. The schedule parser
+		// must accept these — whether a gossip death notice has reached
+		// anyone when the revival lands is the fault view's problem, not
+		// the grammar's (internal/faultview last-write-wins by log index).
+		"@5 revive-node:3;@9 node:3",
+		"@2 revive-module:40;@2 module:40",
+		"@1 heal:0-1;@1 slow:0-1x3",
+		"@3 revive-link:5-6;@4 link:5-6;@4 revive-link:5-6",
 	} {
 		f.Add(seed)
 	}

@@ -1,0 +1,40 @@
+package faultview
+
+import "testing"
+
+// FuzzParseNotice drives the notice wire grammar: any input must parse
+// or error without panicking, and an accepted notice must re-render and
+// re-parse to itself (String ∘ ParseNotice is the identity on the
+// accepted language).
+func FuzzParseNotice(f *testing.F) {
+	for _, s := range []string{
+		"#0@40+12 kill-node:39",
+		"#2@5+30 slow-link:5-6x4",
+		"#1@7+9 revive-node:7",
+		"#3@0+0 kill-link:0-1",
+		"#4@80+7 heal-link:79-80",
+		"#5@8+1 revive-module:8",
+		"#0@1+2 kill-module:1",
+		"#9@2+3 revive-link:2-3",
+		"#0@0+0 kill-node:0",
+		"#0@1+2 melt-node:3",
+		"#0@1+2 slow-link:0-1x1",
+		"not a notice",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		const side = 9
+		nt, err := ParseNotice(side, s)
+		if err != nil {
+			return
+		}
+		again, err := ParseNotice(side, nt.String())
+		if err != nil {
+			t.Fatalf("accepted notice %q re-rendered to unparseable %q: %v", s, nt.String(), err)
+		}
+		if again != nt {
+			t.Fatalf("round trip drift: %q → %+v → %q → %+v", s, nt, nt.String(), again)
+		}
+	})
+}

@@ -249,6 +249,7 @@ type Mesh struct {
 	totalRep *fault.StepReport // accumulated degradation across the run
 
 	retryBudget int // max re-executions per PRAM step (0 = no retry)
+	rollbackCap int // max re-executions across the whole run (0 = per-step budget only)
 	rec         RecoveryStats
 }
 
@@ -257,7 +258,8 @@ type RecoveryStats struct {
 	Retries   int   // step re-executions performed
 	Backoff   int64 // mesh steps spent waiting between attempts
 	Recovered int   // steps that ended clean only thanks to a retry
-	Exhausted int   // steps still degraded after the full budget
+	Exhausted int   // steps still degraded after the full per-step budget
+	Capped    int   // steps denied (further) retries by the run-wide rollback cap
 }
 
 // NewMesh wraps a core simulator as a PRAM backend.
@@ -297,6 +299,27 @@ func (mb *Mesh) SetRetryBudget(n int) {
 		n = 0
 	}
 	mb.retryBudget = n
+	mb.rollbackCap = rollbackCapFactor * n
+}
+
+// rollbackCapFactor sizes the default run-wide rollback cap as a
+// multiple of the per-step budget. The per-step budget alone cannot
+// detect a livelocked fault schedule: every step can burn its full
+// budget, the exponential backoff keeps charging, and the run grinds on
+// forever-degraded while looking merely slow. The run-wide cap bounds
+// the total rollback work; steps past it execute once and report their
+// degradation honestly (RecoveryStats.Capped).
+const rollbackCapFactor = 16
+
+// SetRollbackCap overrides the run-wide rollback cap (total step
+// re-executions across all PRAM steps). Zero disables the cap, leaving
+// only the per-step budget. SetRetryBudget resets the cap to its
+// default (rollbackCapFactor × budget), so call SetRollbackCap after.
+func (mb *Mesh) SetRollbackCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	mb.rollbackCap = n
 }
 
 // Recovery returns the accumulated checkpointed-retry counters.
@@ -330,8 +353,12 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 	if err != nil || snap == nil {
 		return res, err
 	}
-	retried := false
+	retried, capped := false, false
 	for attempt := 1; attempt <= mb.retryBudget && mb.lastRep != nil && len(mb.lastRep.Unrecoverable) > 0; attempt++ {
+		if mb.rollbackCap > 0 && mb.rec.Retries >= mb.rollbackCap {
+			capped = true
+			break
+		}
 		retried = true
 		mb.rec.Retries++
 		if err := mb.Sim.Load(bytes.NewReader(snap.Bytes())); err != nil {
@@ -352,12 +379,16 @@ func (mb *Mesh) ExecStep(ops []Op) ([]Word, error) {
 			return nil, err
 		}
 	}
-	if retried {
-		if mb.lastRep != nil && len(mb.lastRep.Unrecoverable) > 0 {
-			mb.rec.Exhausted++
-		} else {
-			mb.rec.Recovered++
-		}
+	switch {
+	case capped:
+		// The run-wide cap cut this step off (possibly before its first
+		// rollback) while it was still degraded — distinct from spending
+		// the full per-step budget.
+		mb.rec.Capped++
+	case retried && mb.lastRep != nil && len(mb.lastRep.Unrecoverable) > 0:
+		mb.rec.Exhausted++
+	case retried:
+		mb.rec.Recovered++
 	}
 	return res, nil
 }

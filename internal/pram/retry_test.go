@@ -105,6 +105,73 @@ func TestRetryExhaustsOnUnhealableLoss(t *testing.T) {
 	}
 }
 
+// TestRollbackCapStopsLivelock pins the run-wide rollback cap: with an
+// unhealable loss every step would burn its full per-step budget
+// forever (a livelocked schedule hiding behind backoff). The cap cuts
+// the run off after 3 total rollbacks — the first step exhausts its
+// budget of 2, the second gets one rollback then hits the cap, the
+// third is denied any rollback — and RecoveryStats reports the capped
+// steps distinctly from budget-exhausted ones.
+func TestRollbackCapStopsLivelock(t *testing.T) {
+	probe := newMesh(t, nil)
+	hosts := moduleHostsOf(t, probe, 0)
+	f := fault.NewMap(meshParams.Side)
+	for _, h := range hosts[:5] {
+		f.KillModule(h)
+	}
+	mb, err := NewMesh(meshParams, core.Config{Workers: 1, Faults: f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb.SetRetryBudget(2)
+	mb.SetRollbackCap(3)
+
+	for i := 0; i < 3; i++ {
+		if _, err := mb.ExecStep([]Op{{Kind: Read, Addr: 0}}); err != nil {
+			t.Fatal(err)
+		}
+		if rep := mb.LastReport(); len(rep.Unrecoverable) != 1 {
+			t.Fatalf("step %d: report %v, want unrecoverable [0]", i, rep)
+		}
+	}
+
+	rec := mb.Recovery()
+	if rec.Retries != 3 {
+		t.Errorf("retries = %d, want the cap of 3", rec.Retries)
+	}
+	if rec.Exhausted != 1 || rec.Capped != 2 {
+		t.Errorf("recovery stats = %+v, want 1 exhausted, 2 capped", rec)
+	}
+	if rec.Recovered != 0 {
+		t.Errorf("recovered = %d on an unhealable loss", rec.Recovered)
+	}
+	// Backoff stops accumulating once the cap bites: 1+2 from step one,
+	// 1 from step two's single attempt, none from step three.
+	if rec.Backoff != 4 {
+		t.Errorf("backoff = %d steps, want 4", rec.Backoff)
+	}
+
+	// Capped steps still run once and report honest degradation.
+	if tot := mb.TotalReport(); tot == nil || len(tot.Unrecoverable) != 3 {
+		t.Errorf("total report %v, want 3 unrecoverable step entries", tot)
+	}
+
+	// The default cap follows the budget; an explicit override sticks
+	// until the next SetRetryBudget.
+	mb2, err := NewMesh(meshParams, core.Config{Workers: 1, Faults: fault.NewMap(meshParams.Side)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb2.SetRetryBudget(2)
+	if mb2.rollbackCap != 2*rollbackCapFactor {
+		t.Errorf("default cap = %d, want %d", mb2.rollbackCap, 2*rollbackCapFactor)
+	}
+	mb2.SetRollbackCap(0)
+	if mb2.rollbackCap != 0 {
+		t.Error("explicit cap override ignored")
+	}
+}
+
 // TestRetryBudgetZeroNeverSnapshots is the degenerate case: without a
 // budget the wrapper must not checkpoint, retry, or touch the
 // recovery counters even when a step fails.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"meshpram/internal/fault"
+	"meshpram/internal/faultview"
 	"meshpram/internal/mesh"
 	"meshpram/internal/trace"
 )
@@ -99,6 +100,21 @@ type Engine[T any] struct {
 	// never order, so sorting is deferred until the next sweep.
 	wlUnsorted bool
 
+	// Local-knowledge fault dissemination (nil view = global knowledge,
+	// the historical bit-identical behavior). Per-slot probe state is
+	// written only by the shard owning the packet's node; discoveries,
+	// drops and wait counts are collected shard-locally and folded in at
+	// a sequential point after each sweep, so the local mode stays
+	// bit-identical at every worker width (DESIGN.md §13).
+	view    *faultview.View
+	ptry    []int8                  // per-slot failed-probe count
+	pwait   []int64                 // per-slot earliest next probe cycle
+	disc    [][]faultview.Discovery // per-shard in-flight discoveries
+	dropq   [][]engDrop             // per-shard probe-budget drops
+	wcnt    []int32                 // per-shard count of backoff-waiting slots
+	discAll []faultview.Discovery   // sequential integration buffer
+	hazLog  int                     // notice count e.haz was built against
+
 	jobs   chan engJob[T] // persistent sweep worker pool
 	pooled int
 	wg     sync.WaitGroup
@@ -144,6 +160,18 @@ func (e *Engine[T]) Mode() EngineMode { return e.mode }
 // SetHorizonSource installs an external bound on epoch skips (nil
 // removes it). The source is consulted on every batch attempt.
 func (e *Engine[T]) SetHorizonSource(h HorizonSource) { e.hsrc = h }
+
+// SetFaultView installs a local-knowledge fault view: the fault-aware
+// routing paths then consult each node's gossip-updated belief instead
+// of the machine's global fault map, with stale-view detours, bounded
+// rediscovery probes and propagation-latency losses. Nil restores the
+// global (omniscient) behavior. The view is shared between engines of
+// one simulator and advances one gossip round per charged fault-routing
+// cycle.
+func (e *Engine[T]) SetFaultView(v *faultview.View) { e.view = v }
+
+// FaultView returns the installed local-knowledge view (nil = global).
+func (e *Engine[T]) FaultView() *faultview.View { return e.view }
 
 // Executed returns the physically executed iterations (sweeps plus
 // epoch-skip batches) of the most recent routing call. It is ≤ the
@@ -192,6 +220,17 @@ type engHazard struct {
 	ar, ac, br, bc int32
 	delay          int32 // 0 = dead edge
 }
+
+// engDrop is one packet whose rediscovery budget ran out, recorded by
+// the shard that owns its node and removed at the sequential point.
+type engDrop struct {
+	lp   int32 // region-local node holding the packet
+	slot int32
+}
+
+// engProbeBudget is how many failed physical probes a packet tolerates
+// (with exponential backoff between them) before it is charged as lost.
+const engProbeBudget = 8
 
 // engJob is one sweep strip dispatched to the persistent worker pool.
 // It carries the engine pointer so pool goroutines hold only the job
@@ -401,7 +440,18 @@ func (e *Engine[T]) inject(delivered [][]T, r mesh.Region, items [][]T, dest fun
 				if !r.Contains(m, d) {
 					panic(fmt.Sprintf("route: destination %d outside region %v", d, r))
 				}
-				if f.NodeDead(d) {
+				if f != nil && e.view != nil {
+					// Local knowledge: the origin refuses the send only if
+					// *it believes* the destination is dead. A stale-alive
+					// belief injects the packet toward a dead node (it is
+					// lost in flight, discovering the death); a stale-dead
+					// belief drops a deliverable packet — both are the
+					// propagation-latency losses of DESIGN.md §13.
+					if e.view.BeliefAt(p).NodeDead(d) {
+						lost++
+						continue
+					}
+				} else if f.NodeDead(d) {
 					lost++ // undeliverable: the destination is dead
 					continue
 				}
@@ -485,6 +535,17 @@ func (e *Engine[T]) sweep(r mesh.Region, topo topology, wrap, faulty bool, cycle
 	for len(e.csd) < shards {
 		e.csd = append(e.csd, false)
 	}
+	if e.view != nil {
+		for len(e.disc) < shards {
+			e.disc = append(e.disc, nil)
+		}
+		for len(e.dropq) < shards {
+			e.dropq = append(e.dropq, nil)
+		}
+		for len(e.wcnt) < shards {
+			e.wcnt = append(e.wcnt, 0)
+		}
+	}
 	n := len(e.active)
 	if shards == 1 {
 		e.sweepRange(0, 0, n, r, topo, wrap, faulty, cycle)
@@ -542,6 +603,12 @@ func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap
 	f := e.m.Faults()
 	arr := e.arr[w][:0]
 	cst := false
+	local := faulty && e.view != nil
+	if local {
+		e.disc[w] = e.disc[w][:0]
+		e.dropq[w] = e.dropq[w][:0]
+		e.wcnt[w] = 0
+	}
 	for _, lpp := range e.active[lo:hi] {
 		lp := int(lpp)
 		q := e.queues[lp]
@@ -567,7 +634,12 @@ func (e *Engine[T]) sweepRange(w, lo, hi int, r mesh.Region, topo topology, wrap
 		best[0], best[1], best[2], best[3] = -1, -1, -1, -1
 		for qi, slot := range q {
 			d := int(e.dir[slot])
-			if faulty {
+			if local {
+				d = e.localDir(w, slot, p, r, topo, wrap, cycle, f, &cst)
+				if d == -1 {
+					continue // waiting, blocked, or freshly dropped
+				}
+			} else if faulty {
 				// Preferred healthy hop first (bit-identical when up),
 				// then detour candidates by (distance, direction). The
 				// hop that undoes the previous move is a last resort —
@@ -652,6 +724,211 @@ func usableLink(f *fault.Map, p, to int, cycle int64) bool {
 	return cycle%int64(f.LinkDelay(p, to)) == 0
 }
 
+// localDir is the local-knowledge replacement for the global detour
+// scan: the packet at node p picks its hop against p's *belief* (the
+// gossip view), then the chosen hop is checked against the physical
+// truth. A physically blocked hop the belief allowed — or a probe of a
+// believed-dead link — is a discovery: the mismatch is recorded for
+// Integrate, the packet backs off exponentially, and after
+// engProbeBudget failed probes it is dropped (charged lost). Returns
+// the chosen direction, or -1 when the packet does not move this
+// cycle. Writes only shard-local buffers and the per-slot probe state
+// of packets this shard owns.
+func (e *Engine[T]) localDir(w int, slot int32, p int, r mesh.Region, topo topology, wrap bool, cycle int64, f *fault.Map, cst *bool) int {
+	if e.pwait[slot] > cycle {
+		*cst = true
+		e.wcnt[w]++
+		return -1 // backing off until the next probe window
+	}
+	bel := e.view.BeliefAt(p)
+	d := int(e.dir[slot])
+	probe := false
+	if !usableLink(bel, p, e.stepTo(p, d, wrap), cycle) {
+		// Stale-view detour: mirror the global candidate scan, but
+		// against the local belief.
+		*cst = true
+		nd := -1
+		var bd int32
+		back := -1
+		for cand := 0; cand < 4; cand++ {
+			to2, ok := e.stepBounded(p, cand, r, wrap)
+			if !ok || !usableLink(bel, p, to2, cycle) {
+				continue
+			}
+			if int32(to2) == e.from[slot] {
+				back = cand
+				continue
+			}
+			d2 := int32(topo.dist(to2, int(e.dests[slot])))
+			if nd == -1 || d2 < bd {
+				nd, bd = cand, d2
+			}
+		}
+		if nd == -1 {
+			nd = back
+		}
+		if nd == -1 {
+			// Nothing believed usable: probe the preferred link anyway —
+			// the bounded rediscovery that corrects stale-dead beliefs.
+			probe = true
+			nd = d
+		}
+		d = nd
+	}
+	to, ok := e.stepBounded(p, d, r, wrap)
+	if !ok {
+		*cst = true
+		return -1 // probe of a region edge: nowhere to go this cycle
+	}
+	if !usableLink(f, p, to, cycle) {
+		// The belief allowed a hop the physics refuses (or the probe
+		// found the component still down): discover, back off, and give
+		// up after the budget.
+		*cst = true
+		e.discover(w, p, to, f)
+		e.ptry[slot]++
+		if e.ptry[slot] >= engProbeBudget {
+			e.dropq[w] = append(e.dropq[w], engDrop{lp: int32(e.localOf(p, r)), slot: slot})
+			e.pwait[slot] = 1 << 60 // off the board until flushed
+		} else {
+			b := e.ptry[slot]
+			if b > 4 {
+				b = 4
+			}
+			e.pwait[slot] = cycle + int64(1)<<b
+		}
+		return -1
+	}
+	if probe {
+		// The probe went through: the belief was stale-dead (or wrong
+		// about the slow factor). Record the correction.
+		e.discoverRevive(w, p, to, f, bel)
+	}
+	return d
+}
+
+// discover records the physical fault that blocked a hop the belief
+// allowed, witnessed by the node holding the packet.
+func (e *Engine[T]) discover(w, p, to int, f *fault.Map) {
+	d := faultview.Discovery{Witness: p}
+	switch {
+	case f.NodeDead(to):
+		d.Kind, d.P = fault.EvKillNode, to
+	case !f.LinkUp(p, to):
+		d.Kind, d.P, d.Q = fault.EvKillLink, p, to
+	default:
+		d.Kind, d.P, d.Q, d.Factor = fault.EvSlowLink, p, to, f.LinkDelay(p, to)
+	}
+	e.disc[w] = append(e.disc[w], d)
+}
+
+// discoverRevive records the correction when a probe of a
+// believed-unusable link physically succeeded.
+func (e *Engine[T]) discoverRevive(w, p, to int, f, bel *fault.Map) {
+	d := faultview.Discovery{Witness: p}
+	switch {
+	case bel.NodeDead(to):
+		d.Kind, d.P = fault.EvReviveNode, to
+	case !bel.LinkUp(p, to):
+		d.Kind, d.P, d.Q = fault.EvReviveLink, p, to
+	default:
+		// The believed slow factor blocked this cycle but the link
+		// carried the probe: correct the factor.
+		if td := f.LinkDelay(p, to); td == 1 {
+			d.Kind, d.P, d.Q = fault.EvHealLink, p, to
+		} else {
+			d.Kind, d.P, d.Q, d.Factor = fault.EvSlowLink, p, to, td
+		}
+	}
+	e.disc[w] = append(e.disc[w], d)
+}
+
+// flushLocal is the sequential point after each local-mode cycle: it
+// removes the packets whose probe budget ran out (charged lost),
+// integrates the sweep's discoveries into the gossip log, and advances
+// one gossip round. shards is the sweep's shard count (0 when no sweep
+// ran this cycle). Returns (packets dropped, backoff-waiting packets).
+func (e *Engine[T]) flushLocal(shards int, f *fault.Map) (dropped, waiting int) {
+	drops := 0
+	for w := 0; w < shards; w++ {
+		drops += len(e.dropq[w])
+		waiting += int(e.wcnt[w])
+	}
+	if drops > 0 {
+		// Collect and order the drops so removal is width-independent,
+		// then delete each slot from its queue. Emptied nodes stay on
+		// the worklist (sweeps skip them; the next merge prunes them).
+		all := make([]engDrop, 0, drops)
+		for w := 0; w < shards; w++ {
+			all = append(all, e.dropq[w]...)
+			e.dropq[w] = e.dropq[w][:0]
+		}
+		slices.SortFunc(all, func(a, b engDrop) int {
+			if a.lp != b.lp {
+				return int(a.lp - b.lp)
+			}
+			return int(a.slot - b.slot)
+		})
+		for _, dr := range all {
+			q := e.queues[dr.lp]
+			out := q[:0]
+			for _, s := range q {
+				if s != dr.slot {
+					out = append(out, s)
+				}
+			}
+			e.queues[dr.lp] = out
+		}
+		dropped = drops
+	}
+	n := 0
+	for w := 0; w < shards; w++ {
+		n += len(e.disc[w])
+	}
+	if n > 0 {
+		e.discAll = e.discAll[:0]
+		for w := 0; w < shards; w++ {
+			e.discAll = append(e.discAll, e.disc[w]...)
+			e.disc[w] = e.disc[w][:0]
+		}
+		e.view.Integrate(e.discAll, f)
+	}
+	e.view.Tick(f)
+	return dropped, waiting
+}
+
+// localHazards rebuilds e.haz as the union of the physical hazards and
+// the quiet-state belief hazards whenever the notice log grew. The
+// union is what makes local-mode epoch skips sound: within the skip
+// window no packet crosses an edge that either the truth or any live
+// belief treats as down or slow, so every in-window hop is the
+// preferred dimension-ordered one and probes, detours and discoveries
+// cannot occur.
+func (e *Engine[T]) localHazards(f *fault.Map) {
+	m := e.m
+	if e.hazLog == e.view.NoticeCount() {
+		return
+	}
+	e.hazLog = e.view.NoticeCount()
+	e.haz = e.haz[:0]
+	e.hbuf = f.AppendLinkHazards(e.hbuf)
+	for _, hz := range e.hbuf {
+		e.haz = append(e.haz, engHazard{
+			ar: int32(m.RowOf(hz.A)), ac: int32(m.ColOf(hz.A)),
+			br: int32(m.RowOf(hz.B)), bc: int32(m.ColOf(hz.B)),
+			delay: int32(hz.Delay),
+		})
+	}
+	e.hbuf = e.view.AppendBeliefHazards(e.hbuf)
+	for _, hz := range e.hbuf {
+		e.haz = append(e.haz, engHazard{
+			ar: int32(m.RowOf(hz.A)), ac: int32(m.ColOf(hz.A)),
+			br: int32(m.RowOf(hz.B)), bc: int32(m.ColOf(hz.B)),
+			delay: int32(hz.Delay),
+		})
+	}
+}
+
 // merge applies one cycle's arrivals in deterministic shard order:
 // deliver packets that reached their destination, update each mover's
 // cached (dir, dist) — incrementally after a preferred hop, from
@@ -681,6 +958,11 @@ func (e *Engine[T]) merge(delivered [][]T, r mesh.Region, topo topology, wrap, f
 			to := int(a.to)
 			if faulty {
 				e.from[slot] = a.fromP
+				if e.view != nil && e.ptry[slot] != 0 {
+					// The packet moved: its rediscovery budget refills.
+					e.ptry[slot] = 0
+					e.pwait[slot] = 0
+				}
 				if a.detour {
 					d := int(e.dests[slot])
 					if to == d {
@@ -893,6 +1175,12 @@ func (e *Engine[T]) skipHorizon(r mesh.Region, wrap, faulty bool, charged, budge
 			}
 		}
 		for _, slot := range q {
+			if faulty && e.view != nil && e.pwait[slot] > charged {
+				// A backoff-waiting packet does not free-run: its next
+				// cycles deviate from the cached trajectory, so no skip.
+				e.resetLines()
+				return 0, true
+			}
 			d := e.dir[slot]
 			dist := e.dist[slot]
 			dest := int(e.dests[slot])
@@ -1244,17 +1532,46 @@ func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(
 		})
 	}
 
+	if e.view != nil {
+		// Per-slot probe state for this call's slab, zeroed.
+		n := len(e.val)
+		if cap(e.ptry) < n {
+			e.ptry = make([]int8, n)
+			e.pwait = make([]int64, n)
+		} else {
+			e.ptry = e.ptry[:n]
+			e.pwait = e.pwait[:n]
+			for i := range e.ptry {
+				e.ptry[i] = 0
+				e.pwait[i] = 0
+			}
+		}
+		e.hazLog = -1 // truth changed since last call: rebuild the union
+	}
+
 	budget := int64(16*(r.H+r.W) + 4*active)
 	maxDelay := int64(f.MaxDelay())
 	idle := int64(0)
 	useEvent := e.mode == ModeEvent && m.Side < engMaxEventSide
 	contested := false
 	for active > 0 && steps < budget {
-		if useEvent && !contested {
+		// Local knowledge gates epoch skips on a quiet view: while a
+		// notice is still spreading, beliefs change every round, so the
+		// engine steps cycle by cycle (one gossip round per charged
+		// cycle). Once quiet, live beliefs are frozen at the full log and
+		// the truth∪belief hazard union makes free-running sound; the
+		// skipped rounds are provably no-op exchanges (AdvanceRounds).
+		if useEvent && !contested && (e.view == nil || e.view.Quiet()) {
+			if e.view != nil {
+				e.localHazards(f)
+			}
 			if k, sem := e.skipHorizon(r, wrap, true, steps, budget-steps); k > 0 {
 				e.execs++
 				steps += int64(k)
 				active -= e.batchAdvance(delivered, r, wrap, true, k)
+				if e.view != nil {
+					e.view.AdvanceRounds(int64(k))
+				}
 				contested = sem
 				idle = 0
 				continue
@@ -1268,6 +1585,16 @@ func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(
 			// Nothing moved. With slow links a packet may be waiting for
 			// its cycle; after a full slow period of silence the network
 			// is provably wedged and the survivors are lost.
+			if e.view != nil {
+				dropped, waiting := e.flushLocal(shards, f)
+				lost += dropped
+				active -= dropped
+				if waiting > 0 {
+					// Backoff windows (up to 16 cycles) outlast the slow
+					// period; the retry budget still bounds the loop.
+					idle = -1
+				}
+			}
 			idle++
 			if idle >= maxDelay {
 				break
@@ -1277,6 +1604,11 @@ func (e *Engine[T]) routeFault(dst [][]T, r mesh.Region, items [][]T, dest func(
 		}
 		idle = 0
 		active -= e.merge(delivered, r, topo, wrap, true, shards)
+		if e.view != nil {
+			dropped, _ := e.flushLocal(shards, f)
+			lost += dropped
+			active -= dropped
+		}
 		contested = e.lastContested
 	}
 	lost += active // budget exhausted or wedged: survivors are dropped

@@ -109,6 +109,11 @@ type RepairReport struct {
 	Remapped     int   `json:"remapped"`
 	Lost         int   `json:"lost"`
 	Steps        int64 `json:"steps"`
+	// Local fault view only (fault_view=local): deaths whose gossip
+	// notice reached the scrub coordinator, and the summed steps from
+	// each death to its discovery. Zero under the omniscient default.
+	Discovered     int   `json:"discovered,omitempty"`
+	DiscoverySteps int64 `json:"discovery_steps,omitempty"`
 }
 
 // RecoveryReport mirrors pram.RecoveryStats.
@@ -117,6 +122,7 @@ type RecoveryReport struct {
 	Backoff   int64 `json:"backoff"`
 	Recovered int   `json:"recovered"`
 	Exhausted int   `json:"exhausted"`
+	Capped    int   `json:"capped"` // steps cut off by the run-wide rollback cap
 }
 
 // MeshResult reports the run on the paper's mesh simulation.
@@ -342,13 +348,15 @@ func (r *Runner) runMesh(sc sim.Scenario) (*MeshResult, error) {
 	}
 	if rs := mb.RepairStats(); rs != (core.RepairStats{}) {
 		out.Repair = &RepairReport{
-			ModuleDeaths: rs.ModuleDeaths,
-			Scrubs:       rs.Scrubs,
-			Repaired:     rs.Repaired,
-			Residual:     rs.Residual,
-			Remapped:     rs.Remapped,
-			Lost:         rs.Lost,
-			Steps:        rs.Steps,
+			ModuleDeaths:   rs.ModuleDeaths,
+			Scrubs:         rs.Scrubs,
+			Repaired:       rs.Repaired,
+			Residual:       rs.Residual,
+			Remapped:       rs.Remapped,
+			Lost:           rs.Lost,
+			Steps:          rs.Steps,
+			Discovered:     rs.Discovered,
+			DiscoverySteps: rs.DiscoverySteps,
 		}
 	}
 	if rec := mb.Recovery(); rec != (pram.RecoveryStats{}) {
@@ -357,6 +365,7 @@ func (r *Runner) runMesh(sc sim.Scenario) (*MeshResult, error) {
 			Backoff:   rec.Backoff,
 			Recovered: rec.Recovered,
 			Exhausted: rec.Exhausted,
+			Capped:    rec.Capped,
 		}
 	}
 	if sc.Trace {

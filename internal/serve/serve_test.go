@@ -478,6 +478,126 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// TestJobRetentionEviction pins the async job map bound: completed
+// records beyond MaxJobs are evicted oldest-first, evicted ids answer
+// 404 with a retention reason (distinct from never-known ids), and
+// live jobs are never dropped by retention pressure.
+func TestJobRetentionEviction(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxJobs: 2})
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Fill the result cache so every async submission below completes
+	// instantly (completedJob) — eviction order then depends only on
+	// submission order, never on worker timing.
+	sc := testScenario()
+	resp := postScenario(t, ts.URL+"/v1/simulate", sc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up run: status %d: %s", resp.StatusCode, readBody(t, resp))
+	}
+	readBody(t, resp)
+
+	const n = 5
+	ids := make([]string, n)
+	for i := range ids {
+		resp := postScenario(t, ts.URL+"/v1/jobs", sc)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, readBody(t, resp))
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(readBody(t, resp), &v); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = v.ID
+	}
+
+	srv.mu.Lock()
+	retained := len(srv.jobs)
+	srv.mu.Unlock()
+	if retained > 2 {
+		t.Errorf("job map holds %d records, want ≤ MaxJobs=2", retained)
+	}
+
+	// Newest two ids survive; everything older is evicted.
+	for i, id := range ids {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := readBody(t, r)
+		if i >= n-2 {
+			if r.StatusCode != http.StatusOK {
+				t.Errorf("retained job %s: status %d, want 200: %s", id, r.StatusCode, body)
+			}
+			continue
+		}
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("evicted job %s: status %d, want 404: %s", id, r.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "evicted") || !strings.Contains(string(body), "retention") {
+			t.Errorf("evicted job %s: 404 body %s does not explain the retention eviction", id, body)
+		}
+	}
+
+	// A never-known id still gets the plain unknown-job 404.
+	r, err := http.Get(ts.URL + "/v1/jobs/j-never-submitted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readBody(t, r)
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", r.StatusCode)
+	}
+	if !strings.Contains(string(body), "unknown job") || strings.Contains(string(body), "evicted") {
+		t.Errorf("unknown job body %s should be the plain unknown-job reason", body)
+	}
+}
+
+// TestJobRetentionSkipsLiveJobs checks retention pressure walks past
+// queued/running records instead of dropping them or stalling: live
+// jobs survive, completed ones behind them are still evicted.
+func TestJobRetentionSkipsLiveJobs(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxJobs: 1})
+	// No HTTP, no workers: drive rememberJob directly under the lock.
+	live := newJob("j-live", testScenario())
+
+	other := testScenario()
+	other.Seed = 2
+	doneA := completedJob("j-done-a", other, []byte("{}"))
+	doneB := completedJob("j-done-b", other, []byte("{}"))
+
+	srv.mu.Lock()
+	srv.rememberJob(doneA) // oldest
+	srv.rememberJob(live)
+	srv.rememberJob(doneB) // over bound: must evict doneA, then live blocks... skip to keep doneB
+	if _, ok := srv.jobs["j-done-a"]; ok {
+		t.Error("oldest completed job not evicted")
+	}
+	if !srv.evicted["j-done-a"] {
+		t.Error("evicted id not remembered")
+	}
+	if _, ok := srv.jobs["j-live"]; !ok {
+		t.Error("live job dropped by retention")
+	}
+	srv.mu.Unlock()
+
+	// The evicted-id memory is itself bounded (count-based, no clock).
+	srv.mu.Lock()
+	for i := 0; i < 3*evictedMemory; i++ {
+		srv.rememberEvicted(fmt.Sprintf("j-x-%d", i))
+	}
+	if got, want := len(srv.evictFIFO), evictedMemory*srv.cfg.MaxJobs; got > want {
+		t.Errorf("evicted-id memory holds %d ids, want ≤ %d", got, want)
+	}
+	if len(srv.evicted) != len(srv.evictFIFO) {
+		t.Errorf("evicted map (%d) and FIFO (%d) diverged", len(srv.evicted), len(srv.evictFIFO))
+	}
+	srv.mu.Unlock()
+}
+
 // TestLRUCache unit-tests the result cache bounds and counters.
 func TestLRUCache(t *testing.T) {
 	c := newCache(2, 0)

@@ -105,15 +105,17 @@ type Server struct {
 	draining atomic.Bool
 	jobSeq   atomic.Int64
 
-	mu       sync.Mutex
-	inflight map[string]*job // cache key → running computation
-	jobs     map[string]*job // job id → record (bounded by MaxJobs)
-	jobAge   *list.List      // job ids, oldest at back
-	scen     map[string]*scenarioTotals
-	admitted int64
-	rejected int64
-	done     int64
-	failed   int64
+	mu        sync.Mutex
+	inflight  map[string]*job // cache key → running computation
+	jobs      map[string]*job // job id → record (bounded by MaxJobs)
+	jobAge    *list.List      // job ids, oldest at back
+	evicted   map[string]bool // ids evicted by retention (bounded FIFO)
+	evictFIFO []string        // eviction order of evicted ids
+	scen      map[string]*scenarioTotals
+	admitted  int64
+	rejected  int64
+	done      int64
+	failed    int64
 }
 
 // New builds and starts a Server (its worker pool runs immediately).
@@ -126,6 +128,7 @@ func New(cfg Config) *Server {
 		inflight: make(map[string]*job),
 		jobs:     make(map[string]*job),
 		jobAge:   list.New(),
+		evicted:  make(map[string]bool),
 		scen:     make(map[string]*scenarioTotals),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.jobDone)
@@ -251,24 +254,51 @@ func (s *Server) nextJobID() string {
 	return fmt.Sprintf("j-%d", s.jobSeq.Add(1))
 }
 
+// evictedMemory sizes the evicted-id memory in multiples of MaxJobs:
+// the ids of the last evictedMemory×MaxJobs evictions are retained so
+// GET of an evicted job can explain itself instead of claiming the id
+// never existed. Purely count-based — eviction never consults a clock,
+// so a replayed request sequence always evicts the same ids.
+const evictedMemory = 4
+
 // rememberJob records j for async retrieval, evicting the oldest
-// completed records beyond MaxJobs. Callers hold s.mu.
+// completed records beyond the MaxJobs retention threshold. Records
+// still live (queued or running) are skipped, never dropped — the map
+// can transiently exceed MaxJobs only by the number of live jobs,
+// which the queue already bounds. Callers hold s.mu.
 func (s *Server) rememberJob(j *job) {
 	s.jobs[j.id] = j
 	s.jobAge.PushFront(j.id)
-	for len(s.jobs) > s.cfg.MaxJobs {
-		oldest := s.jobAge.Back()
-		if oldest == nil {
-			break
-		}
-		id := oldest.Value.(string)
+	el := s.jobAge.Back()
+	for len(s.jobs) > s.cfg.MaxJobs && el != nil {
+		prev := el.Prev()
+		id := el.Value.(string)
 		if old, ok := s.jobs[id]; ok {
-			if st := old.currentStatus(); st != statusDone && st != statusFailed {
-				break // still live; retention pressure waits for it
+			if st := old.currentStatus(); st == statusDone || st == statusFailed {
+				delete(s.jobs, id)
+				s.jobAge.Remove(el)
+				s.rememberEvicted(id)
 			}
-			delete(s.jobs, id)
+		} else {
+			s.jobAge.Remove(el) // stale entry of a forgotten job
 		}
-		s.jobAge.Remove(oldest)
+		el = prev
+	}
+}
+
+// rememberEvicted records an evicted job id, keeping the memory itself
+// bounded by dropping the oldest recorded evictions first. Callers
+// hold s.mu.
+func (s *Server) rememberEvicted(id string) {
+	if s.evicted[id] {
+		return
+	}
+	s.evicted[id] = true
+	s.evictFIFO = append(s.evictFIFO, id)
+	if len(s.evictFIFO) > evictedMemory*s.cfg.MaxJobs {
+		drop := s.evictFIFO[0]
+		s.evictFIFO = s.evictFIFO[1:]
+		delete(s.evicted, drop)
 	}
 }
 
@@ -380,12 +410,17 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	j, ok := s.jobs[id]
+	wasEvicted := !ok && s.evicted[id]
 	s.mu.Unlock()
-	if !ok {
+	switch {
+	case ok:
+		writeJSON(w, http.StatusOK, viewOf(j))
+	case wasEvicted:
+		writeError(w, http.StatusNotFound, fmt.Sprintf(
+			"job %q was evicted after completion (retention keeps the last %d jobs); re-POST the scenario — the deterministic result is served from cache", id, s.cfg.MaxJobs))
+	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown job %q", id))
-		return
 	}
-	writeJSON(w, http.StatusOK, viewOf(j))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

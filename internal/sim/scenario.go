@@ -24,6 +24,7 @@ import (
 
 	"meshpram/internal/core"
 	"meshpram/internal/fault"
+	"meshpram/internal/faultview"
 	"meshpram/internal/hmos"
 	"meshpram/internal/route"
 )
@@ -74,6 +75,7 @@ type Scenario struct {
 	// Faults and self-healing.
 	Faults        string `json:"faults,omitempty"`         // static spec (fault.Parse)
 	FaultSchedule string `json:"fault_schedule,omitempty"` // dynamic timeline (fault.ParseSchedule)
+	FaultView     string `json:"fault_view,omitempty"`     // global | local ("" = global)
 	Repair        string `json:"repair,omitempty"`         // off | eager | lazy ("" = off)
 	Retry         int    `json:"retry,omitempty"`          // checkpointed-retry budget
 
@@ -98,7 +100,8 @@ func DefaultScenario() Scenario {
 		Program: "prefixsum", Size: 64, Seed: 1,
 		Backend: BackendBoth,
 		Policy:  "majority", Sort: "shear",
-		Repair: "off", Engine: "event",
+		FaultView: "global",
+		Repair:    "off", Engine: "event",
 		Workers:     1,
 		IdealMemory: 1 << 20,
 	}
@@ -116,6 +119,9 @@ func (sc Scenario) Normalized() Scenario {
 	}
 	if sc.Sort == "" {
 		sc.Sort = "shear"
+	}
+	if sc.FaultView == "" {
+		sc.FaultView = "global"
 	}
 	if sc.Repair == "" {
 		sc.Repair = "off"
@@ -178,6 +184,9 @@ func (sc Scenario) Validate() error {
 	if _, err := parseSortAlgo(sc.Sort); err != nil {
 		return &fieldError{Field: "sort", Err: err}
 	}
+	if _, err := faultview.ParseMode(sc.FaultView); err != nil {
+		return &fieldError{Field: "fault_view", Err: err}
+	}
 	if _, err := core.ParseRepairPolicy(sc.Repair); err != nil {
 		return &fieldError{Field: "repair", Err: err}
 	}
@@ -237,6 +246,7 @@ func (sc Scenario) Canonical() []byte {
 	put("disable_culling", strconv.FormatBool(sc.DisableCulling))
 	put("engine", strconv.Quote(sc.Engine))
 	put("fault_schedule", strconv.Quote(sc.FaultSchedule))
+	put("fault_view", strconv.Quote(sc.FaultView))
 	put("faults", strconv.Quote(sc.Faults))
 	put("ideal_memory", strconv.Itoa(sc.IdealMemory))
 	put("k", strconv.Itoa(sc.K))
@@ -295,11 +305,18 @@ func FromScenario(sc Scenario, extra ...Option) (Config, error) {
 	if err != nil {
 		return Config{}, &fieldError{Field: "engine", Err: err}
 	}
+	view, err := faultview.ParseMode(sc.FaultView)
+	if err != nil {
+		return Config{}, &fieldError{Field: "fault_view", Err: err}
+	}
 	opts := []Option{
 		Side(sc.Side), Q(sc.Q), D(sc.D), K(sc.K),
 		Policy(policy), SortAlgo(algo), Repair(repair), EngineMode(mode),
 		Workers(sc.Workers), Retry(sc.Retry),
 		FaultSpec(sc.Faults), FaultScheduleSpec(sc.FaultSchedule),
+		// The local view's witness tie-breaks reuse the scenario seed, so
+		// one Scenario pins the whole timeline.
+		FaultView(view), FaultViewSeed(sc.Seed),
 		IdealMemory(sc.IdealMemory),
 	}
 	if sc.Torus {

@@ -19,6 +19,7 @@ direct_routing=false
 disable_culling=false
 engine="event"
 fault_schedule=""
+fault_view="global"
 faults=""
 ideal_memory=1048576
 k=2
@@ -38,7 +39,7 @@ workers=1
 `
 
 // goldenKey = hex(sha256(goldenCanonical)).
-const goldenKey = "1f3ec17becf8cb180e68e0b1f5c607d56d2f6b7c30ce412457bc09794f97b7f3"
+const goldenKey = "2309d42e1e6dd334de458c33934f00e1136ec02b2dc6bf84931d67877716e8d3"
 
 func TestCanonicalGolden(t *testing.T) {
 	sc := DefaultScenario()
@@ -168,6 +169,7 @@ func TestValidateRejections(t *testing.T) {
 		{"bad policy", mod(func(s *Scenario) { s.Policy = "quorumish" }), "policy"},
 		{"bad sort", mod(func(s *Scenario) { s.Sort = "bubble" }), "sort"},
 		{"bad repair", mod(func(s *Scenario) { s.Repair = "eventually" }), "repair"},
+		{"bad fault view", mod(func(s *Scenario) { s.FaultView = "psychic" }), "fault_view"},
 		{"bad engine", mod(func(s *Scenario) { s.Engine = "warp" }), "engine"},
 		{"negative retry", mod(func(s *Scenario) { s.Retry = -1 }), "retry"},
 		{"negative workers", mod(func(s *Scenario) { s.Workers = -1 }), "workers"},

@@ -23,6 +23,7 @@ import (
 
 	"meshpram/internal/core"
 	"meshpram/internal/fault"
+	"meshpram/internal/faultview"
 	"meshpram/internal/hmos"
 	"meshpram/internal/route"
 	"meshpram/internal/trace"
@@ -174,6 +175,21 @@ func FaultScheduleSpec(spec string) Option {
 // core.RepairOff; see core.RepairPolicy).
 func Repair(p core.RepairPolicy) Option {
 	return func(c *Config) error { c.Core.Repair = p; return nil }
+}
+
+// FaultView selects how routers and the repair trigger learn about
+// faults: faultview.Global (default) consults the live fault map with
+// zero latency; faultview.Local gives each node a gossip-updated view
+// with simulated propagation latency, stale-view detours and
+// notice-gated repair (see core.Config.FaultView).
+func FaultView(m faultview.Mode) Option {
+	return func(c *Config) error { c.Core.FaultView = m; return nil }
+}
+
+// FaultViewSeed seeds the local fault view's witness tie-breaks
+// (meaningful only with FaultView(faultview.Local)).
+func FaultViewSeed(seed int64) Option {
+	return func(c *Config) error { c.Core.FaultViewSeed = seed; return nil }
 }
 
 // Retry sets the checkpointed-retry budget of the mesh backend: how

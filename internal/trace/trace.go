@@ -47,9 +47,10 @@ const (
 	PhaseAccess               // local memory accesses
 	PhaseReturn               // copy→origin routing cycles
 	PhaseRepair               // self-healing scrub traffic and retry backoff
+	PhaseGossip               // fault-view dissemination diagnostics (observe-only)
 )
 
-var phaseNames = [...]string{"other", "culling", "sort", "rank", "forward", "access", "return", "repair"}
+var phaseNames = [...]string{"other", "culling", "sort", "rank", "forward", "access", "return", "repair", "gossip"}
 
 // NumPhases is the number of distinct Phase values.
 const NumPhases = len(phaseNames)
