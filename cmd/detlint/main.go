@@ -6,11 +6,21 @@
 //
 // Usage:
 //
-//	detlint [-checks list] [pattern ...]
+//	detlint [-checks list] [-format text|json] [-baseline file] [pattern ...]
 //
 // Patterns are directories relative to the working directory; a
 // trailing /... walks the subtree (default "./..."). Only non-test Go
-// files are analyzed. See DESIGN.md §9 for the check list and the
+// files are analyzed.
+//
+// -format json emits a stable machine-readable report with a
+// fingerprint per finding (sha256 of module-relative path, check,
+// message and occurrence index — line-independent, so unrelated edits
+// do not churn identities). -baseline names a JSON allowlist
+// ({"version":1,"fingerprints":[...]}); baselined findings are still
+// reported (marked "baselined" in JSON, omitted in text) but do not
+// fail the run. The exit code gates on NEW findings only.
+//
+// See DESIGN.md §9 and §14 for the check list and the
 // //detlint:ignore suppression syntax.
 package main
 
@@ -30,7 +40,14 @@ func main() {
 func run() int {
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	list := flag.Bool("list", false, "list available checks and exit")
+	format := flag.String("format", "text", "output format: text or json")
+	baselinePath := flag.String("baseline", "", "JSON baseline file of accepted finding fingerprints")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "detlint: unknown format %q (want text or json)\n", *format)
+		return 2
+	}
 
 	analyzers := detlint.All()
 	if *list {
@@ -86,12 +103,30 @@ func run() int {
 		}
 	}
 
-	findings := detlint.Run(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	baseline, err := detlint.LoadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 2
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "detlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	findings := detlint.Run(pkgs, analyzers)
+	report := detlint.NewReport(loader.ModRoot, findings, baseline)
+
+	if *format == "json" {
+		if err := report.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range report.Findings {
+			if f.Baselined {
+				continue
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Check, f.Msg)
+		}
+	}
+	if n := report.NewCount(); n > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d new finding(s) in %d package(s)\n", n, len(pkgs))
 		return 1
 	}
 	fmt.Fprintf(os.Stderr, "detlint: ok (%d packages, %d checks)\n", len(pkgs), len(analyzers))

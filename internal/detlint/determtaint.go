@@ -1,0 +1,35 @@
+package detlint
+
+// DetermTaint is the interprocedural determinism-taint check: values
+// derived from map iteration order, wall-clock reads, or unseeded
+// randomness must not flow — through any chain of this package's own
+// helpers — into the surfaces that replay fixtures diff byte-for-byte:
+// ledger charges (Ledger.Charge, Span.Observe, Span.AddPackets),
+// gob/json wire encoders, or the results of wire/canonical encoding
+// functions (Canonical, Key, String, MarshalBinary, MarshalText,
+// AppendWire).
+//
+// The per-expression maprange and wallclock checks flag the source
+// sites; this check closes the laundering hole they cannot see: a
+// helper that returns the first key a map range yields (or a max fold,
+// or a time-stamped value) looks clean at every individual expression,
+// yet its caller feeding the result into a snapshot or a charge makes
+// replay diverge. The taint engine (taint.go) summarizes every
+// function's source→result flows to fixpoint, so the chain length does
+// not matter.
+//
+// Sorting is the sanitizer: sort.*/slices.Sort* canonicalize order and
+// clear map-order taint. Wall-clock and randomness taint have no
+// sanitizer — such values must simply never reach a sink; annotate the
+// sink line with //detlint:ignore determtaint <reason> for the rare
+// deliberate diagnostic.
+var DetermTaint = &Analyzer{
+	Name:     "determtaint",
+	Doc:      "order/time/randomness-derived values must not flow (even via helpers) into wire encodings, canonical keys, or ledger charges",
+	Packages: DetPackages,
+	Run:      runDetermTaint,
+}
+
+func runDetermTaint(p *Pass) {
+	newTaintEngine(p).run()
+}

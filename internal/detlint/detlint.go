@@ -19,6 +19,21 @@
 //   - ledgerphase: every ledger span Begin has a matching End on all
 //     return paths, so cost trees always close.
 //
+// Four v2 checks build on a shared call-graph + taint layer (taint.go,
+// DESIGN.md §14):
+//
+//   - determtaint: interprocedural — values derived from map iteration
+//     order, wall clocks, or unseeded randomness must not flow, through
+//     any chain of package-internal helpers, into wire encodings,
+//     canonical keys, or ledger charges;
+//   - goroutineshare: goroutine bodies must not write captured shared
+//     variables outside the per-shard-arena + index-ordered-merge idiom
+//     of the parallel sweep;
+//   - chanorder: no multi-case selects, channel ranges, or
+//     completion-order result merges in deterministic packages;
+//   - ignoreaudit: a //detlint:ignore directive that suppresses nothing
+//     is itself a finding, so the suppression inventory cannot rot.
+//
 // A finding can be suppressed with a trailing (or immediately
 // preceding) comment:
 //
@@ -55,7 +70,10 @@ type Analyzer struct {
 	// ends in one of these elements (the repository's deterministic
 	// packages). Empty means the analyzer runs everywhere.
 	Packages []string
-	Run      func(*Pass)
+	// Run performs the check. A nil Run marks a synthetic analyzer
+	// evaluated by the framework itself (ignoreaudit, which consumes
+	// the suppression-usage ledger the real analyzers leave behind).
+	Run func(*Pass)
 }
 
 func (a *Analyzer) applies(pkg *Package) bool {
@@ -92,15 +110,22 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{MapRange, WallClock, CheckedErr, SnapshotFields, LedgerPhase}
+	return []*Analyzer{MapRange, WallClock, CheckedErr, SnapshotFields, LedgerPhase,
+		DetermTaint, GoroutineShare, ChanOrder, IgnoreAudit}
 }
 
-// DetPackages are the packages whose execution must be bit-identical
-// run to run: the protocol core and everything it charges through,
-// plus the scenario API and the service's execution/encoding layer
-// (serve's admission and transport layers carry explicit wallclock
-// suppressions — they never feed charged costs or response bodies).
-var DetPackages = []string{"core", "route", "culling", "mesh", "hmos", "fault", "trace", "sim", "serve"}
+// DetPackages is the one canonical list of packages whose execution
+// must be bit-identical run to run: the protocol core and everything
+// it charges through, the scenario API, the gossip fault-view layer
+// and its wire format, the seeded workload generators, and the
+// service's execution/encoding layer (serve's admission and transport
+// layers carry explicit wallclock/chanorder suppressions — they never
+// feed charged costs or response bodies). Every package-restricted
+// analyzer references this list; per-check copies are not allowed.
+var DetPackages = []string{
+	"core", "route", "culling", "mesh", "hmos", "fault", "trace",
+	"sim", "serve", "faultview", "workload",
+}
 
 // Run applies the analyzers to the packages, drops suppressed findings,
 // and returns the rest sorted by position. Malformed or unknown-check
@@ -120,15 +145,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	for _, pkg := range pkgs {
 		ig, bad := collectIgnores(pkg, known)
 		all = append(all, bad...)
+		ran := map[string]bool{}
 		for _, a := range analyzers {
-			if !a.applies(pkg) {
+			if a.Run == nil || !a.applies(pkg) {
 				continue
 			}
+			ran[a.Name] = true
 			var fs []Finding
 			a.Run(&Pass{Package: pkg, Check: a.Name, findings: &fs})
 			for _, f := range fs {
 				if !ig.suppressed(f) {
 					all = append(all, f)
+				}
+			}
+		}
+		for _, a := range analyzers {
+			if a.Name == IgnoreAudit.Name && a.applies(pkg) {
+				for _, f := range auditIgnores(ig, ran) {
+					if !ig.suppressed(f) {
+						all = append(all, f)
+					}
 				}
 			}
 		}
@@ -159,13 +195,56 @@ type ignoreKey struct {
 	check string
 }
 
-type ignoreIndex map[ignoreKey]bool
+// ignoreEntry is one parsed directive occurrence plus its usage state —
+// whether it actually suppressed a finding in this run (ignoreaudit's
+// input).
+type ignoreEntry struct {
+	pos  token.Position
+	used bool
+}
+
+type ignoreIndex map[ignoreKey]*ignoreEntry
 
 // suppressed reports whether a directive for the finding's check sits
-// on the finding's line or the line directly above it.
+// on the finding's line or the line directly above it, marking the
+// matching directive as load-bearing.
 func (ig ignoreIndex) suppressed(f Finding) bool {
-	return ig[ignoreKey{f.Pos.Filename, f.Pos.Line, f.Check}] ||
-		ig[ignoreKey{f.Pos.Filename, f.Pos.Line - 1, f.Check}]
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		if ent := ig[ignoreKey{f.Pos.Filename, line, f.Check}]; ent != nil {
+			ent.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// auditIgnores returns one ignoreaudit finding per directive that
+// suppressed nothing, restricted to checks that ran on the package.
+func auditIgnores(ig ignoreIndex, ran map[string]bool) []Finding {
+	keys := make([]ignoreKey, 0, len(ig))
+	for k := range ig {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		return a.check < b.check
+	})
+	var out []Finding
+	for _, k := range keys {
+		ent := ig[k]
+		if ent.used || k.check == IgnoreAudit.Name || !ran[k.check] {
+			continue
+		}
+		out = append(out, Finding{Pos: ent.pos, Check: IgnoreAudit.Name,
+			Msg: fmt.Sprintf("suppression of %s no longer matches any finding; delete the stale directive (or annotate it with ignoreaudit if it must outlive a quiet spell)", k.check)})
+	}
+	return out
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*detlint:ignore\s+([A-Za-z0-9_,-]+)(\s+\S.*)?$`)
@@ -201,7 +280,7 @@ func collectIgnores(pkg *Package, known map[string]bool) (ignoreIndex, []Finding
 							Msg: fmt.Sprintf("ignore directive names unknown check %q", check)})
 						continue
 					}
-					ig[ignoreKey{pos.Filename, pos.Line, check}] = true
+					ig[ignoreKey{pos.Filename, pos.Line, check}] = &ignoreEntry{pos: pos}
 				}
 			}
 		}

@@ -1,0 +1,134 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineShare flags writes from goroutine bodies to captured shared
+// variables in deterministic packages. The one sanctioned shape is the
+// parallel sweep's per-shard-arena idiom: each goroutine writes only
+// `arena[w] = …` slots addressed by a goroutine-local shard id passed
+// into (or derived inside) the literal, and the caller merges the
+// slots in shard-index order after the WaitGroup barrier. Everything
+// else — a captured counter, an append to a shared slice, a fixed slot
+// every worker hits — races or commits in scheduler order, and either
+// way two runs of the same seeded timeline can diverge.
+//
+// The check is structural and local to `go func(…) { … }` literals:
+//
+//   - a write (assignment, ++/--, or range-clause assignment) whose
+//     target's storage root is declared outside the literal is a
+//     finding, unless the lvalue is an index chain where some index
+//     references a variable declared inside the literal (the shard-id
+//     arena slot);
+//   - channel sends and method calls (sync.WaitGroup.Done, mutex ops,
+//     atomics) are not writes in this sense — handing work over a
+//     channel is the sanctioned alternative;
+//   - `go namedWorker(ch)` launches are out of scope: the pool-worker
+//     idiom shares nothing but the job channel, and the worker body is
+//     analyzed as an ordinary function.
+//
+// Deliberate exceptions (a barrier-ordered single writer, say) take
+// //detlint:ignore goroutineshare <reason> on the write.
+var GoroutineShare = &Analyzer{
+	Name:     "goroutineshare",
+	Doc:      "goroutine bodies must not write captured shared variables outside the per-shard-arena + index-ordered-merge idiom",
+	Packages: DetPackages,
+	Run:      runGoroutineShare,
+}
+
+func runGoroutineShare(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			fl, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoroutineBody(p, fl)
+			return true
+		})
+	}
+}
+
+func checkGoroutineBody(p *Pass, fl *ast.FuncLit) {
+	inside := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= fl.Pos() && obj.Pos() < fl.End()
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkGoroutineWrite(p, fl, lhs, inside)
+			}
+		case *ast.IncDecStmt:
+			checkGoroutineWrite(p, fl, st.X, inside)
+		case *ast.RangeStmt:
+			if st.Tok.String() == "=" {
+				checkGoroutineWrite(p, fl, st.Key, inside)
+				checkGoroutineWrite(p, fl, st.Value, inside)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoroutineWrite reports a write through lhs whose storage root is
+// captured from outside the goroutine literal, unless an index on the
+// lvalue chain is goroutine-local (the per-shard arena slot).
+func checkGoroutineWrite(p *Pass, fl *ast.FuncLit, lhs ast.Expr, inside func(types.Object) bool) {
+	if lhs == nil {
+		return
+	}
+	localIndex := false
+	x := lhs
+walk:
+	for {
+		switch v := x.(type) {
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			if id, ok := v.X.(*ast.Ident); ok {
+				if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+					return
+				}
+			}
+			x = v.X
+		case *ast.IndexExpr:
+			ast.Inspect(v.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; inside(obj) {
+						localIndex = true
+					}
+				}
+				return true
+			})
+			x = v.X
+		default:
+			break walk
+		}
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if _, isVar := obj.(*types.Var); !isVar || inside(obj) {
+		return
+	}
+	if localIndex {
+		return // per-shard arena slot: goroutine-local index into a shared arena
+	}
+	p.Reportf(lhs.Pos(),
+		"goroutine writes captured variable %s: scheduler order becomes data; write a per-shard arena slot indexed by a goroutine-local shard id and merge in index order, or annotate why the write is ordered",
+		id.Name)
+}

@@ -1,0 +1,23 @@
+package detlint
+
+// IgnoreAudit keeps the suppression inventory honest: a
+// //detlint:ignore directive that no longer suppresses any finding is
+// itself a finding. Suppressions are written against specific code; when
+// that code is rewritten or deleted, a surviving directive is dead
+// weight at best and, at worst, silently swallows the next genuine
+// finding that happens to land on its line. Auditing them means every
+// surviving //detlint:ignore in the tree is load-bearing.
+//
+// The audit only considers checks that actually ran on the package in
+// this invocation (a -checks subset must not condemn suppressions of
+// the checks it skipped), and never audits directives for ignoreaudit
+// itself. A directive that must outlive a temporarily-quiet finding can
+// be kept with an adjacent //detlint:ignore ignoreaudit <reason>.
+//
+// The check has no Run of its own: it is evaluated by Run after the
+// selected analyzers, from the suppression-usage ledger they leave
+// behind.
+var IgnoreAudit = &Analyzer{
+	Name: "ignoreaudit",
+	Doc:  "a //detlint:ignore directive that suppresses nothing is itself a finding",
+}

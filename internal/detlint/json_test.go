@@ -1,0 +1,103 @@
+package detlint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixture loads one testdata package under a det import path.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadAs(filepath.Join("testdata", "src", name), "fixture/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s holds no Go files", name)
+	}
+	return pkg
+}
+
+func encodeFixtureReport(t *testing.T, pkg *Package, baseline map[string]bool) ([]byte, Report) {
+	t.Helper()
+	rep := NewReport(".", Run([]*Package{pkg}, All()), baseline)
+	var buf bytes.Buffer
+	if err := rep.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rep
+}
+
+// TestJSONReportGolden pins the -format json wire format byte for byte,
+// fingerprints included: a fingerprint is an identity clients key
+// baselines on, so it must never drift silently. Refresh with
+// DETLINT_UPDATE_GOLDEN=1 after a deliberate format change.
+func TestJSONReportGolden(t *testing.T) {
+	pkg := loadFixture(t, "determtaint")
+	got, rep := encodeFixtureReport(t, pkg, nil)
+	if len(rep.Findings) == 0 {
+		t.Fatal("determtaint fixture produced no findings; the golden would pin nothing")
+	}
+
+	// two runs over the same tree must be byte-identical
+	again, _ := encodeFixtureReport(t, pkg, nil)
+	if !bytes.Equal(got, again) {
+		t.Fatal("two encodings of the same tree differ")
+	}
+
+	golden := filepath.Join("testdata", "golden", "report.json")
+	if os.Getenv("DETLINT_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with DETLINT_UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report drifted from golden (DETLINT_UPDATE_GOLDEN=1 refreshes after a deliberate change)\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestBaseline checks the allowlist semantics: a baselined finding is
+// still reported (marked) but no longer counts as new.
+func TestBaseline(t *testing.T) {
+	pkg := loadFixture(t, "determtaint")
+	_, rep := encodeFixtureReport(t, pkg, nil)
+	if rep.NewCount() != len(rep.Findings) {
+		t.Fatalf("no baseline: NewCount %d != %d findings", rep.NewCount(), len(rep.Findings))
+	}
+
+	first := rep.Findings[0].Fingerprint
+	_, rebased := encodeFixtureReport(t, pkg, map[string]bool{first: true})
+	if !rebased.Findings[0].Baselined {
+		t.Error("baselined finding not marked")
+	}
+	if got, want := rebased.NewCount(), len(rep.Findings)-1; got != want {
+		t.Errorf("NewCount with one baselined finding = %d, want %d", got, want)
+	}
+}
+
+// TestFingerprintLineIndependent: unrelated edits shift findings down a
+// file; their identity must not churn.
+func TestFingerprintLineIndependent(t *testing.T) {
+	if Fingerprint("a/b.go", "maprange", "msg", 0) != Fingerprint("a/b.go", "maprange", "msg", 0) {
+		t.Error("fingerprint not deterministic")
+	}
+	if Fingerprint("a/b.go", "maprange", "msg", 0) == Fingerprint("a/b.go", "maprange", "msg", 1) {
+		t.Error("occurrence index not separating repeated findings")
+	}
+	if Fingerprint("a/b.go", "maprange", "msg", 0) == Fingerprint("a/b.go", "wallclock", "msg", 0) {
+		t.Error("check name not part of the identity")
+	}
+}

@@ -1,0 +1,125 @@
+package detlint
+
+// Machine-readable reporting: findings rendered as a stable JSON
+// document with per-finding fingerprints, plus an allowlist baseline so
+// CI can gate on *new* findings while a known debt burns down. The
+// repository's committed baseline (detlint.baseline.json) is empty and
+// a test keeps it that way — the mechanism exists for downstream forks
+// and for staging large check rollouts, not for parking violations.
+//
+// Fingerprints hash the module-relative path, check name, message and
+// the occurrence index of that triple within the file — deliberately
+// NOT the line number, so a finding keeps its identity when unrelated
+// edits shift it down the file. Identical trees therefore produce
+// byte-identical reports (pinned by the golden in json_test.go).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ReportFinding is one finding in wire form.
+type ReportFinding struct {
+	File        string `json:"file"` // module-root-relative, slash-separated
+	Line        int    `json:"line"`
+	Col         int    `json:"col"`
+	Check       string `json:"check"`
+	Msg         string `json:"msg"`
+	Fingerprint string `json:"fingerprint"`
+	Baselined   bool   `json:"baselined,omitempty"`
+}
+
+// Report is the -format json document.
+type Report struct {
+	Version  int             `json:"version"`
+	Findings []ReportFinding `json:"findings"`
+}
+
+// Fingerprint derives the stable identity of one finding occurrence.
+func Fingerprint(file, check, msg string, occurrence int) string {
+	h := sha256.Sum256([]byte(file + "\x00" + check + "\x00" + msg + "\x00" + strconv.Itoa(occurrence)))
+	return hex.EncodeToString(h[:8])
+}
+
+// NewReport converts findings (in Run's sorted order) to wire form,
+// relativizing paths against modRoot and marking baselined entries.
+func NewReport(modRoot string, findings []Finding, baseline map[string]bool) Report {
+	r := Report{Version: 1, Findings: []ReportFinding{}}
+	occ := map[string]int{}
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+		key := file + "\x00" + f.Check + "\x00" + f.Msg
+		fp := Fingerprint(file, f.Check, f.Msg, occ[key])
+		occ[key]++
+		r.Findings = append(r.Findings, ReportFinding{
+			File: file, Line: f.Pos.Line, Col: f.Pos.Column,
+			Check: f.Check, Msg: f.Msg,
+			Fingerprint: fp, Baselined: baseline[fp],
+		})
+	}
+	return r
+}
+
+// NewCount is the number of findings not covered by the baseline — the
+// CI gate's exit criterion.
+func (r Report) NewCount() int {
+	n := 0
+	for _, f := range r.Findings {
+		if !f.Baselined {
+			n++
+		}
+	}
+	return n
+}
+
+// Encode writes the report as indented JSON. Identical findings encode
+// to identical bytes.
+func (r Report) Encode(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// baselineFile is the committed allowlist format.
+type baselineFile struct {
+	Version      int      `json:"version"`
+	Fingerprints []string `json:"fingerprints"`
+}
+
+// LoadBaseline reads a baseline file into a fingerprint set. An empty
+// path yields an empty set.
+func LoadBaseline(path string) (map[string]bool, error) {
+	set := map[string]bool{}
+	if path == "" {
+		return set, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("detlint: baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("detlint: baseline %s: unsupported version %d", path, bf.Version)
+	}
+	for _, fp := range bf.Fingerprints {
+		set[fp] = true
+	}
+	return set, nil
+}

@@ -1,0 +1,920 @@
+package detlint
+
+// The shared call-graph + taint-propagation layer under determtaint
+// (and available to future interprocedural checks). It computes, per
+// package, a summary for every declared function — which taint kinds
+// its results carry intrinsically, and which parameters flow into its
+// results — by fixpoint iteration, then replays every function body
+// once more with reporting enabled so tainted values are flagged at
+// the sinks they reach (ledger charges, gob/json encoders, returns of
+// wire/canonical encoders).
+//
+// The analysis is deliberately modest and documented by its limits:
+//
+//   - flow is tracked per variable (types.Object), field-insensitively:
+//     a write to x.f taints x as a whole, a read of x.f carries x's
+//     taint;
+//   - interprocedural propagation covers the analyzed package's own
+//     functions (where helper laundering lives); calls into other
+//     packages conservatively return the union of their argument and
+//     receiver taints;
+//   - dynamic dispatch (interface methods, function values) is opaque
+//     and treated like a cross-package call.
+//
+// Taint kinds form a flat lattice: a value is tainted by map iteration
+// order, by a wall-clock read, or by unseeded randomness. Sorting a
+// value (sort.* / slices.Sort*) is the one sanitizer: it canonicalizes
+// order, so it clears the map-order kind (and only that kind).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+type taintKind uint8
+
+const (
+	taintMapOrder taintKind = iota
+	taintWallClock
+	taintRand
+	numTaintKinds
+)
+
+var taintKindDesc = [numTaintKinds]string{
+	"map iteration order",
+	"a wall-clock read",
+	"unseeded randomness",
+}
+
+// taint is one value's taint state: the set of kinds it carries (each
+// with a representative source position) and the set of enclosing
+// function parameters whose values reach it.
+type taint struct {
+	kinds  uint8
+	params uint32
+	src    [numTaintKinds]token.Pos
+}
+
+func (t taint) has(k taintKind) bool { return t.kinds&(1<<k) != 0 }
+
+func (t taint) tainted() bool { return t.kinds != 0 }
+
+func (t *taint) add(k taintKind, pos token.Pos) bool {
+	if t.has(k) {
+		return false
+	}
+	t.kinds |= 1 << k
+	t.src[k] = pos
+	return true
+}
+
+// union merges o into t, keeping t's existing source positions, and
+// reports whether t grew.
+func (t *taint) union(o taint) bool {
+	grew := false
+	for k := taintKind(0); k < numTaintKinds; k++ {
+		if o.has(k) && t.add(k, o.src[k]) {
+			grew = true
+		}
+	}
+	if o.params&^t.params != 0 {
+		t.params |= o.params
+		grew = true
+	}
+	return grew
+}
+
+func (t *taint) clear(k taintKind) {
+	t.kinds &^= 1 << k
+	t.src[k] = token.NoPos
+}
+
+// funcInfo is the interprocedural summary of one declared function:
+// the intrinsic taint its results carry and (via taint.params bits)
+// which of its parameters — receiver first — flow into a result.
+type funcInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	params  []types.Object // receiver (if any) first, then parameters
+	hasRecv bool
+	result  taint
+}
+
+// taintEngine runs the analysis for one package.
+type taintEngine struct {
+	p        *Pass
+	funcs    map[*types.Func]*funcInfo
+	order    []*funcInfo // declaration order, for deterministic findings
+	reported map[string]bool
+}
+
+func newTaintEngine(p *Pass) *taintEngine {
+	e := &taintEngine{p: p, funcs: map[*types.Func]*funcInfo{}, reported: map[string]bool{}}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn, decl: fd}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				fi.hasRecv = true
+				if names := fd.Recv.List[0].Names; len(names) == 1 {
+					fi.params = append(fi.params, p.Info.Defs[names[0]])
+				} else {
+					fi.params = append(fi.params, nil)
+				}
+			}
+			if fd.Type.Params != nil {
+				for _, fld := range fd.Type.Params.List {
+					if len(fld.Names) == 0 {
+						fi.params = append(fi.params, nil)
+						continue
+					}
+					for _, nm := range fld.Names {
+						fi.params = append(fi.params, p.Info.Defs[nm])
+					}
+				}
+			}
+			e.funcs[fn] = fi
+			e.order = append(e.order, fi)
+		}
+	}
+	return e
+}
+
+// run computes summaries to fixpoint, then replays with reporting on.
+func (e *taintEngine) run() {
+	for iter := 0; iter < 2+int(numTaintKinds); iter++ {
+		changed := false
+		for _, fi := range e.order {
+			if e.analyze(fi, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fi := range e.order {
+		e.analyze(fi, true)
+	}
+}
+
+// analyze walks one function body, updating its summary; it reports
+// whether the summary grew. With report set, sink violations are
+// emitted (exactly once, deduplicated across the replay).
+func (e *taintEngine) analyze(fi *funcInfo, report bool) bool {
+	w := &taintWalker{
+		e:      e,
+		fi:     fi,
+		env:    map[types.Object]taint{},
+		report: report,
+	}
+	for i, obj := range fi.params {
+		if obj != nil && i < 32 {
+			w.env[obj] = taint{params: 1 << i}
+		}
+	}
+	w.walkStmt(fi.decl.Body)
+	return fi.result.union(w.result)
+}
+
+// taintWalker carries the per-function abstract state. Statements are
+// interpreted in syntactic order with a single shared environment;
+// loop bodies are walked twice so loop-carried taint propagates.
+type taintWalker struct {
+	e      *taintEngine
+	fi     *funcInfo
+	env    map[types.Object]taint
+	report bool
+	result taint // taint reaching any non-error result
+
+	// mapRangeBody is the position of the innermost enclosing
+	// map-range body; values accumulated across its iterations into
+	// variables declared before it become map-order tainted.
+	mapRangeBody token.Pos
+}
+
+func (w *taintWalker) pass() *Pass { return w.e.p }
+
+// outerOf reports whether obj was declared before the current
+// map-range body (so a write to it accumulates across iterations).
+func (w *taintWalker) outerOf(obj types.Object) bool {
+	return w.mapRangeBody.IsValid() && obj != nil && obj.Pos() < w.mapRangeBody
+}
+
+func (w *taintWalker) lookup(obj types.Object) taint {
+	if obj == nil {
+		return taint{}
+	}
+	return w.env[obj]
+}
+
+// obj resolves an identifier to its object (definition or use).
+func (w *taintWalker) obj(id *ast.Ident) types.Object {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	if o := w.pass().Info.Defs[id]; o != nil {
+		return o
+	}
+	return w.pass().Info.Uses[id]
+}
+
+// rootObj walks x down to the variable that owns the written or read
+// storage: sel/index/slice/star/paren chains and single-argument type
+// conversions are unwrapped.
+func (w *taintWalker) rootObj(x ast.Expr) types.Object {
+	for {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return w.obj(v)
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		case *ast.SelectorExpr:
+			// package-qualified names have no storage root
+			if id, ok := v.X.(*ast.Ident); ok {
+				if _, isPkg := w.pass().Info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			x = v.X
+		case *ast.IndexExpr:
+			x = v.X
+		case *ast.SliceExpr:
+			x = v.X
+		case *ast.TypeAssertExpr:
+			x = v.X
+		case *ast.CallExpr:
+			if tv, ok := w.pass().Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+				x = v.Args[0]
+				continue
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+func (w *taintWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, c := range st.List {
+			w.walkStmt(c)
+		}
+	case *ast.AssignStmt:
+		w.assign(st)
+	case *ast.IncDecStmt:
+		// counting is commutative; no order taint, no propagation
+	case *ast.ExprStmt:
+		w.eval(st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, nm := range vs.Names {
+					var t taint
+					if i < len(vs.Values) {
+						t = w.eval(vs.Values[i])
+					}
+					if obj := w.obj(nm); obj != nil {
+						w.env[obj] = t
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.walkReturn(st)
+	case *ast.IfStmt:
+		w.walkStmt(st.Init)
+		w.eval(st.Cond)
+		w.walkStmt(st.Body)
+		w.walkStmt(st.Else)
+	case *ast.ForStmt:
+		w.walkStmt(st.Init)
+		if st.Cond != nil {
+			w.eval(st.Cond)
+		}
+		// two passes so loop-carried taint reaches every use
+		for i := 0; i < 2; i++ {
+			w.walkStmt(st.Body)
+			w.walkStmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		w.walkRange(st)
+	case *ast.SwitchStmt:
+		w.walkStmt(st.Init)
+		if st.Tag != nil {
+			w.eval(st.Tag)
+		}
+		w.walkStmt(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(st.Init)
+		w.walkStmt(st.Assign)
+		w.walkStmt(st.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(st.Body)
+	case *ast.CaseClause:
+		for _, x := range st.List {
+			w.eval(x)
+		}
+		for _, c := range st.Body {
+			w.walkStmt(c)
+		}
+	case *ast.CommClause:
+		w.walkStmt(st.Comm)
+		for _, c := range st.Body {
+			w.walkStmt(c)
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.GoStmt:
+		w.eval(st.Call)
+	case *ast.DeferStmt:
+		w.eval(st.Call)
+	case *ast.SendStmt:
+		w.eval(st.Chan)
+		w.eval(st.Value)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (w *taintWalker) walkReturn(st *ast.ReturnStmt) {
+	record := func(t taint, typ types.Type) {
+		if isErrorType(typ) {
+			return // error plumbing is checkederr's domain, not a wire value
+		}
+		if w.mapRangeBody.IsValid() {
+			// returning from inside a map-range body selects an
+			// iteration-order-dependent element
+			t.add(taintMapOrder, st.Pos())
+		}
+		if w.report && t.tainted() && wireNames[w.fi.decl.Name.Name] {
+			for k := taintKind(0); k < numTaintKinds; k++ {
+				if t.has(k) {
+					w.e.reportf(w.pass(), st.Pos(),
+						"wire/canonical encoder %s returns a value derived from %s (%s)",
+						w.fi.decl.Name.Name, taintKindDesc[k], w.e.srcPos(t.src[k]))
+				}
+			}
+		}
+		w.result.union(t)
+	}
+	if len(st.Results) == 0 {
+		// naked return: named results carry whatever they hold
+		if res := w.fi.decl.Type.Results; res != nil {
+			for _, fld := range res.List {
+				for _, nm := range fld.Names {
+					obj := w.obj(nm)
+					if obj != nil {
+						record(w.lookup(obj), obj.Type())
+					}
+				}
+			}
+		}
+		return
+	}
+	for _, x := range st.Results {
+		t := w.eval(x)
+		var typ types.Type
+		if tv, ok := w.pass().Info.Types[x]; ok {
+			typ = tv.Type
+		}
+		record(t, typ)
+	}
+}
+
+func (w *taintWalker) walkRange(st *ast.RangeStmt) {
+	src := w.eval(st.X)
+	t := w.pass().Info.TypeOf(st.X)
+	_, overMap := t.Underlying().(*types.Map)
+
+	// range variables inherit the container's taint (its contents),
+	// but not map-order taint from merely being iterated
+	bind := func(x ast.Expr) {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if obj := w.obj(id); obj != nil {
+			w.env[obj] = src
+		}
+	}
+	bind(st.Key)
+	bind(st.Value)
+
+	if !overMap {
+		for i := 0; i < 2; i++ {
+			w.walkStmt(st.Body)
+		}
+		return
+	}
+	saved := w.mapRangeBody
+	w.mapRangeBody = st.Body.Pos()
+	for i := 0; i < 2; i++ {
+		w.walkStmt(st.Body)
+	}
+	w.mapRangeBody = saved
+}
+
+// commutativeCompound reports whether `lhs op= rhs` accumulates
+// order-insensitively: integer add/sub/mul and the bitwise ops commute
+// and associate exactly; string concatenation and float arithmetic do
+// not.
+func commutativeCompound(tok token.Token, typ types.Type) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+	default:
+		return false
+	}
+	if typ == nil {
+		return false
+	}
+	b, ok := typ.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// indexUsesRangeScope reports whether any index along the lvalue chain
+// references a variable declared inside the current map-range body
+// (the per-key-slot store idiom: distinct iterations address distinct
+// slots, so the store commutes).
+func (w *taintWalker) indexUsesRangeScope(x ast.Expr) bool {
+	found := false
+	for {
+		switch v := x.(type) {
+		case *ast.IndexExpr:
+			ast.Inspect(v.Index, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := w.obj(id); obj != nil && !w.outerOf(obj) {
+						found = true
+					}
+				}
+				return true
+			})
+			x = v.X
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.ParenExpr:
+			x = v.X
+		case *ast.StarExpr:
+			x = v.X
+		default:
+			return found
+		}
+	}
+}
+
+func (w *taintWalker) assign(as *ast.AssignStmt) {
+	// compound assignment: lhs op= rhs
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		t := w.eval(as.Rhs[0])
+		obj := w.rootObj(as.Lhs[0])
+		if obj == nil {
+			return
+		}
+		cur := w.lookup(obj)
+		cur.union(t)
+		if w.outerOf(obj) && !commutativeCompound(as.Tok, obj.Type()) {
+			cur.add(taintMapOrder, as.Pos())
+		}
+		w.env[obj] = cur
+		return
+	}
+
+	// plain = / := ; evaluate RHS first
+	var rhs []taint
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		t := w.eval(as.Rhs[0]) // tuple: every lhs gets the call's taint
+		for range as.Lhs {
+			rhs = append(rhs, t)
+		}
+	} else {
+		for _, r := range as.Rhs {
+			rhs = append(rhs, w.eval(r))
+		}
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(rhs) {
+			break
+		}
+		t := rhs[i]
+		switch lv := lhs.(type) {
+		case *ast.Ident:
+			obj := w.obj(lv)
+			if obj == nil {
+				continue
+			}
+			if w.outerOf(obj) {
+				// accumulation or selection across map iterations
+				t.add(taintMapOrder, as.Pos())
+				cur := w.lookup(obj)
+				cur.union(t)
+				w.env[obj] = cur
+			} else {
+				w.env[obj] = t // strong update
+			}
+		case *ast.IndexExpr:
+			obj := w.rootObj(lv)
+			if obj == nil {
+				continue
+			}
+			t.union(w.eval(lv.Index))
+			_, intoMap := w.pass().Info.TypeOf(lv.X).Underlying().(*types.Map)
+			if w.outerOf(obj) && !intoMap && !w.indexUsesRangeScope(lv) {
+				// a fixed slot rewritten every iteration keeps the
+				// last-iterated value; per-key slots and map stores
+				// commute and stay clean
+				t.add(taintMapOrder, as.Pos())
+			}
+			cur := w.lookup(obj)
+			cur.union(t)
+			w.env[obj] = cur
+		default:
+			obj := w.rootObj(lhs)
+			if obj == nil {
+				continue
+			}
+			if w.outerOf(obj) {
+				t.add(taintMapOrder, as.Pos())
+			}
+			cur := w.lookup(obj)
+			cur.union(t)
+			w.env[obj] = cur
+		}
+	}
+}
+
+func (w *taintWalker) eval(x ast.Expr) taint {
+	switch v := x.(type) {
+	case nil:
+		return taint{}
+	case *ast.Ident:
+		return w.lookup(w.obj(v))
+	case *ast.BasicLit:
+		return taint{}
+	case *ast.FuncLit:
+		// walk the body inline: captured variables keep their taint and
+		// sink calls inside the literal are still checked; returns stay
+		// local to the literal
+		savedRes, savedMR := w.result, w.mapRangeBody
+		w.mapRangeBody = token.NoPos
+		w.walkStmt(v.Body)
+		w.result, w.mapRangeBody = savedRes, savedMR
+		return taint{}
+	case *ast.ParenExpr:
+		return w.eval(v.X)
+	case *ast.StarExpr:
+		return w.eval(v.X)
+	case *ast.UnaryExpr:
+		return w.eval(v.X)
+	case *ast.BinaryExpr:
+		t := w.eval(v.X)
+		t.union(w.eval(v.Y))
+		return t
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			if _, isPkg := w.pass().Info.Uses[id].(*types.PkgName); isPkg {
+				return taint{}
+			}
+		}
+		return w.eval(v.X)
+	case *ast.IndexExpr:
+		// generic instantiation f[T] has no value taint of its own
+		if tv, ok := w.pass().Info.Types[v.X]; ok && tv.IsType() {
+			return taint{}
+		}
+		t := w.eval(v.X)
+		t.union(w.eval(v.Index))
+		return t
+	case *ast.IndexListExpr:
+		return taint{}
+	case *ast.SliceExpr:
+		return w.eval(v.X)
+	case *ast.TypeAssertExpr:
+		return w.eval(v.X)
+	case *ast.CompositeLit:
+		var t taint
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t.union(w.eval(el))
+		}
+		return t
+	case *ast.CallExpr:
+		return w.evalCall(v)
+	case *ast.KeyValueExpr:
+		t := w.eval(v.Key)
+		t.union(w.eval(v.Value))
+		return t
+	}
+	return taint{}
+}
+
+func (w *taintWalker) evalCall(call *ast.CallExpr) taint {
+	p := w.pass()
+
+	// type conversion
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		var t taint
+		for _, a := range call.Args {
+			t.union(w.eval(a))
+		}
+		return t
+	}
+
+	// builtins
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				var t taint
+				for _, a := range call.Args {
+					t.union(w.eval(a))
+				}
+				return t
+			case "len", "cap":
+				// the size of an order-tainted container is itself
+				// order-insensitive
+				t := w.eval(call.Args[0])
+				t.clear(taintMapOrder)
+				return t
+			case "copy":
+				if len(call.Args) == 2 {
+					t := w.eval(call.Args[1])
+					if obj := w.rootObj(call.Args[0]); obj != nil {
+						cur := w.lookup(obj)
+						cur.union(t)
+						w.env[obj] = cur
+					}
+				}
+				return taint{}
+			case "min", "max":
+				var t taint
+				for _, a := range call.Args {
+					t.union(w.eval(a))
+				}
+				return t
+			default:
+				for _, a := range call.Args {
+					w.eval(a)
+				}
+				return taint{}
+			}
+		}
+	}
+
+	fn := calleeFunc(p, call)
+
+	// taint sources and the sort sanitizer, by callee package
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				var t taint
+				t.add(taintWallClock, call.Pos())
+				return t
+			}
+		case "math/rand", "math/rand/v2":
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !randSeeded[fn.Name()] {
+				var t taint
+				t.add(taintRand, call.Pos())
+				return t
+			}
+		case "crypto/rand":
+			var t taint
+			t.add(taintRand, call.Pos())
+			return t
+		case "maps":
+			switch fn.Name() {
+			case "Keys", "Values", "All":
+				t := w.argUnion(call)
+				t.add(taintMapOrder, call.Pos())
+				return t
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sorted", "SortedFunc", "SortedStableFunc":
+				t := w.argUnion(call)
+				t.clear(taintMapOrder)
+				return t
+			case "Sort", "SortFunc", "SortStableFunc":
+				w.sanitize(call)
+				return taint{}
+			}
+		case "sort":
+			switch fn.Name() {
+			case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+				w.sanitize(call)
+				return taint{}
+			}
+		}
+	}
+
+	// sinks: ledger charges and stdlib wire encoders
+	if w.report && fn != nil {
+		if why := sinkKind(fn); why != "" {
+			for _, a := range call.Args {
+				t := w.eval(a)
+				for k := taintKind(0); k < numTaintKinds; k++ {
+					if t.has(k) {
+						w.e.reportf(p, a.Pos(),
+							"value derived from %s (%s) flows into %s",
+							taintKindDesc[k], w.e.srcPos(t.src[k]), why)
+					}
+				}
+			}
+		}
+	}
+
+	// same-package callee: apply its summary
+	if fi := w.e.funcs[fn]; fi != nil {
+		t := taint{kinds: fi.result.kinds, src: fi.result.src}
+		if fi.result.params != 0 {
+			args := w.callArgs(call, fi)
+			for i := range fi.params {
+				if i < 32 && fi.result.params&(1<<i) != 0 && i < len(args) && args[i] != nil {
+					at := w.eval(args[i])
+					t.union(at)
+				}
+			}
+		}
+		// arguments not flowing to results still need walking for
+		// nested sink calls / literals
+		for _, a := range call.Args {
+			w.eval(a)
+		}
+		return t
+	}
+
+	// cross-package / dynamic callee: conservative — results carry the
+	// union of receiver and argument taints
+	var t taint
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		t.union(w.eval(sel.X))
+	}
+	for _, a := range call.Args {
+		t.union(w.eval(a))
+	}
+	return t
+}
+
+// callArgs aligns a call's receiver and arguments with fi.params.
+func (w *taintWalker) callArgs(call *ast.CallExpr, fi *funcInfo) []ast.Expr {
+	var args []ast.Expr
+	if fi.hasRecv {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			args = append(args, sel.X)
+		} else {
+			args = append(args, nil)
+		}
+	}
+	args = append(args, call.Args...)
+	return args
+}
+
+func (w *taintWalker) argUnion(call *ast.CallExpr) taint {
+	var t taint
+	for _, a := range call.Args {
+		t.union(w.eval(a))
+	}
+	return t
+}
+
+// sanitize clears map-order taint from the storage roots of an
+// in-place sort call's arguments.
+func (w *taintWalker) sanitize(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.eval(a) // function-literal comparators etc.
+		if obj := w.rootObj(a); obj != nil {
+			cur := w.lookup(obj)
+			cur.clear(taintMapOrder)
+			w.env[obj] = cur
+		}
+	}
+}
+
+// calleeFunc resolves a call's static callee, if any.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation f[T](…)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := p.Info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		pe, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = pe.X
+	}
+}
+
+// wireNames are the function names whose returned bytes/strings are a
+// wire, snapshot, or canonical-key encoding: order/time/randomness
+// taint in their results breaks byte-identical replay directly.
+var wireNames = map[string]bool{
+	"Canonical":     true,
+	"Key":           true,
+	"String":        true,
+	"MarshalBinary": true,
+	"MarshalText":   true,
+	"AppendWire":    true,
+}
+
+// sinkKind classifies fn as a taint sink and returns its description,
+// or "" when it is not one.
+func sinkKind(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := sig.Recv().Type()
+	switch fn.Name() {
+	case "Charge":
+		if namedTypeIs(recv, "Ledger", "trace") {
+			return "ledger charging (Ledger.Charge)"
+		}
+	case "Observe", "AddPackets":
+		if namedTypeIs(recv, "Span", "trace") {
+			return "ledger charging (Span." + fn.Name() + ")"
+		}
+	case "Encode":
+		if named, ok := derefNamed(recv); ok {
+			pkg := named.Obj().Pkg()
+			if named.Obj().Name() == "Encoder" && pkg != nil &&
+				(pkg.Path() == "encoding/gob" || pkg.Path() == "encoding/json") {
+				return pkg.Path() + " encoding"
+			}
+		}
+	}
+	return ""
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// srcPos renders a taint source position as "file.go:NN" for messages
+// (basename only, so findings and fingerprints are machine-independent).
+func (e *taintEngine) srcPos(pos token.Pos) string {
+	if !pos.IsValid() {
+		return "unknown origin"
+	}
+	p := e.p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// reportf emits one deduplicated finding.
+func (e *taintEngine) reportf(p *Pass, pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d|%s", pos, msg)
+	if e.reported[key] {
+		return
+	}
+	e.reported[key] = true
+	p.Reportf(pos, "%s", msg)
+}

@@ -1,0 +1,87 @@
+// Package fix is a chanorder fixture: multi-case selects, channel
+// ranges, and completion-order result merges make scheduler arrival
+// order observable. The sanctioned shapes are the single-case+default
+// non-blocking poll and the per-shard-slot merge indexed by data
+// carried in the result, not by arrival position.
+package fix
+
+// selectTwo commits whichever channel is ready first.
+func selectTwo(a, b chan int) int {
+	select { // want chanorder
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// nonBlocking is the sanctioned single-case + default poll.
+func nonBlocking(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+// drain consumes values in completion order.
+func drain(a chan int) int {
+	n := 0
+	for range a { // want chanorder
+		n++
+	}
+	return n
+}
+
+// completionMerge bakes arrival order into the slice.
+func completionMerge(results chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, <-results) // want chanorder
+	}
+	return out
+}
+
+// localMerge binds the receive to a local first; the destination still
+// outlives the loop, so the order still leaks.
+func localMerge(results chan int, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		v := <-results
+		out = append(out, v*v) // want chanorder
+	}
+	return out
+}
+
+// shardResult carries its own slot index, so arrival order cannot
+// matter.
+type shardResult struct {
+	shard int
+	v     int
+}
+
+// indexMerge is the sanctioned merge: each result lands in the slot
+// its payload names, and scratch appended inside the loop dies with
+// the iteration.
+func indexMerge(results chan shardResult, n int) []int {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		r := <-results
+		var scratch []int
+		scratch = append(scratch, r.v)
+		out[r.shard] = scratch[0]
+	}
+	return out
+}
+
+// annotated keeps a deliberate transport-level race.
+func annotated(done, timeout chan struct{}) bool {
+	//detlint:ignore chanorder fixture: transport-level wait; the observable result is identical on either arm
+	select {
+	case <-done:
+		return true
+	case <-timeout:
+		return false
+	}
+}

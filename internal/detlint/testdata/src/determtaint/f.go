@@ -1,0 +1,98 @@
+// Package fix is a determtaint fixture: values derived from map
+// iteration order, the wall clock, or unseeded randomness must not
+// flow — even through a chain of package-internal helpers — into
+// ledger charges, stdlib wire encoders, or the returns of
+// wire/canonical-named functions. The syntactic checks (maprange,
+// wallclock) flag the sources; determtaint flags the laundered flow at
+// the sink.
+package fix
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"sort"
+	"time"
+
+	"meshpram/internal/trace"
+)
+
+// anyKey returns whichever key the randomized iteration visits first:
+// an iteration-order-dependent selection, laundered behind a helper.
+func anyKey(m map[int]int) int {
+	for k := range m { // want maprange
+		return k
+	}
+	return 0
+}
+
+// passthru is the innocent-looking middle link of the laundering chain.
+func passthru(v int) int { return v }
+
+func chargeAnyKey(ld *trace.Ledger, m map[int]int) {
+	v := passthru(anyKey(m))
+	ld.Charge(int64(v)) // want determtaint
+}
+
+// nowNs launders a wall-clock read through a helper return.
+func nowNs() int64 { return time.Now().UnixNano() } // want wallclock
+
+func chargeElapsed(ld *trace.Ledger) {
+	ld.Charge(nowNs()) // want determtaint
+}
+
+// jitter launders unseeded randomness the same way.
+func jitter() int64 { return rand.Int63() } // want wallclock
+
+func observeJitter(sp *trace.Span) {
+	sp.Observe(jitter()) // want determtaint
+}
+
+// keysBad streams map keys to a gob encoder in iteration order.
+func keysBad(enc *gob.Encoder, m map[string]int) {
+	var keys []string
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	enc.Encode(keys) // want determtaint
+}
+
+// keysGood sorts first: the sort canonicalizes order, clearing the
+// taint, and the collect+sort idiom satisfies maprange too.
+func keysGood(enc *gob.Encoder, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	enc.Encode(keys)
+}
+
+// Packet's String is a wire rendering (wire-named): folding over the
+// map in iteration order bakes that order into the returned bytes.
+type Packet struct{ Loads map[int]int }
+
+func (p Packet) String() string {
+	s := ""
+	for _, v := range p.Loads { // want maprange
+		s += string(rune('a' + v%26))
+	}
+	return s // want determtaint
+}
+
+// countOnly charges the map's size: len() of an order-tainted
+// container is itself order-insensitive.
+func countOnly(ld *trace.Ledger, m map[int]int) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	ld.Charge(int64(len(keys)))
+}
+
+// chargeSuppressed demonstrates the escape hatch for a vetted flow.
+func chargeSuppressed(ld *trace.Ledger, m map[int]int) {
+	v := anyKey(m)
+	//detlint:ignore determtaint fixture: flow vetted by hand; the charged value is order-insensitive downstream
+	ld.Charge(int64(v))
+}

@@ -8,5 +8,5 @@ func unknown() {}
 //detlint:ignore // want detlint
 func malformed() {}
 
-//detlint:ignore wallclock well-formed directives are fine even when unused
+//detlint:ignore wallclock suppresses nothing; the audit catches it // want ignoreaudit
 func unused() {}

@@ -1,0 +1,110 @@
+// Package fix is a goroutineshare fixture: goroutine bodies must not
+// write captured shared variables. The sanctioned shape is the
+// per-shard arena — each goroutine writes only slots addressed by a
+// goroutine-local shard id, and the caller merges in index order after
+// the barrier. Handing values over a channel is the other sanctioned
+// alternative; sends are not writes.
+package fix
+
+import "sync"
+
+// sweep is the sanctioned idiom: arena[w] is addressed by the
+// goroutine's own parameter, so distinct goroutines touch distinct
+// slots and the merge below reads them in index order.
+func sweep(n int) int {
+	arena := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			arena[w] = w * w
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, v := range arena {
+		total += v
+	}
+	return total
+}
+
+// badCounter races every goroutine on one captured counter.
+func badCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total++ // want goroutineshare
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// badAppend commits results in scheduler order (and races the slice
+// header).
+func badAppend(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out = append(out, w) // want goroutineshare
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// badFixedSlot writes one shared slot from every goroutine: the index
+// is captured, not goroutine-local, so the last scheduled write wins.
+func badFixedSlot(n int) int {
+	slot := make([]int, 1)
+	i := 0
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot[i] = w // want goroutineshare
+		}(w)
+	}
+	wg.Wait()
+	return slot[0]
+}
+
+// sendResults hands values over a channel instead of writing shared
+// state: sends are the sanctioned alternative, not writes.
+func sendResults(n int) int {
+	ch := make(chan int, n)
+	for w := 0; w < n; w++ {
+		go func(w int) { ch <- w * w }(w)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch // commutative fold; arrival order immaterial
+	}
+	return total
+}
+
+// annotated keeps a vetted barrier-ordered single writer.
+func annotated(n int) int {
+	cycles := 0
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			if first {
+				//detlint:ignore goroutineshare fixture: only the first goroutine writes, and the WaitGroup orders the write against the read below
+				cycles++
+			}
+		}(w == 0)
+	}
+	wg.Wait()
+	return cycles
+}

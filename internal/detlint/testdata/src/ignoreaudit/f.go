@@ -1,0 +1,47 @@
+// Package fix is an ignoreaudit fixture: a //detlint:ignore directive
+// that no longer suppresses any finding is itself a finding, so the
+// suppression inventory cannot rot. A directive that must outlive a
+// quiet spell is shielded with an adjacent ignoreaudit directive.
+package fix
+
+import "sort"
+
+// sortedKeys once ranged the map bare; the body was later rewritten to
+// the collect+sort idiom but the directive survived the rewrite — it
+// is dead weight now.
+func sortedKeys(m map[int]int) []int {
+	var keys []int
+	//detlint:ignore maprange stale: the body was rewritten to collect+sort // want ignoreaudit
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// anyOrder still needs its suppression: maprange flags the fold, and
+// the directive is what keeps it quiet — load-bearing, not audited.
+func anyOrder(m map[int]int) int {
+	best := 0
+	//detlint:ignore maprange max over values is order-insensitive
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// shielded demonstrates the escape hatch: the maprange directive is
+// currently unused (the body satisfies collect+sort), but it is kept
+// deliberately, and the adjacent ignoreaudit directive says why.
+func shielded(m map[int]int) []int {
+	var keys []int
+	//detlint:ignore ignoreaudit fixture: directive kept deliberately through a quiet spell
+	//detlint:ignore maprange the body flips to an unsorted fold under a build tag
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -247,6 +247,7 @@ type engJob[T any] struct {
 }
 
 func engWorker[T any](jobs <-chan engJob[T]) {
+	//detlint:ignore chanorder job intake only: each job writes its own worker arena slot and the caller merges arenas in shard-index order after the barrier
 	for j := range jobs {
 		j.e.sweepRange(j.w, j.lo, j.hi, j.r, j.topo, j.wrap, j.faulty, j.cycle)
 		j.wg.Done()

@@ -126,6 +126,7 @@ func newPool(workers, depth int, onDone func(*job)) *pool {
 func (p *pool) work() {
 	defer p.wg.Done()
 	runner := NewRunner() // warm scheme cache, private to this worker
+	//detlint:ignore chanorder job intake only: each job is self-contained, keyed by its id, and publishes through its own done channel
 	for j := range p.queue {
 		p.busy.Add(1)
 		j.markRunning()
