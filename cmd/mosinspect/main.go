@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mosinspect [-side 27] [-q 3] [-d 4] [-k 2] [-verify] [-var 42]
+//	mosinspect [-side 27] [-q 3] [-d 4] [-k 2] [-verify] [-var 42] [-mem]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"meshpram/internal/bibd"
+	"meshpram/internal/core"
 	"meshpram/internal/gf"
 	"meshpram/internal/hmos"
 )
@@ -25,6 +26,7 @@ func main() {
 	k := flag.Int("k", 2, "levels")
 	verify := flag.Bool("verify", false, "verify BIBD λ=1 and placement balance")
 	showVar := flag.Int("var", -1, "print the copy tree of this variable")
+	mem := flag.Bool("mem", false, "print the per-layer resident bytes/node breakdown of a fully populated simulator")
 	flag.Parse()
 
 	s, err := hmos.New(hmos.Params{Side: *side, Q: *q, D: *d, K: *k})
@@ -41,7 +43,7 @@ func main() {
 	fmt.Println("level  d_i  modules m_i  pages/module p_i  pages total  submesh t_i")
 	for i := 1; i <= *k; i++ {
 		fmt.Printf("%5d  %3d  %11d  %16d  %11d  %11d\n",
-			i, s.Ds[i-1], s.ModCount[i], s.PagesPer[i], len(s.Tess[i]), s.T[i])
+			i, s.Ds[i-1], s.ModCount[i], s.PagesPer[i], s.PageCount(i), s.T[i])
 	}
 
 	if *showVar >= 0 {
@@ -53,6 +55,13 @@ func main() {
 		for _, c := range s.Copies(*showVar, nil) {
 			fmt.Printf("  leaf %2d: path %v -> proc %d (page %d of tessellation 1)\n",
 				c.Leaf, c.Path, c.Proc, s.PageIndex(1, c.Path))
+		}
+	}
+
+	if *mem {
+		if err := printMem(s); err != nil {
+			fmt.Fprintf(os.Stderr, "mosinspect: %v\n", err)
+			os.Exit(1)
 		}
 	}
 
@@ -93,4 +102,42 @@ func main() {
 		}
 		fmt.Println("verification PASSED")
 	}
+}
+
+// printMem populates a simulator of this scheme (every variable
+// written once — the worst-case resident store) and prints the
+// per-layer quiescent footprint from core.MemReport, in bytes and in
+// bytes per processor. Routing buffers are compacted first, so the
+// figures are the floor a long-lived checkpointable simulator holds.
+func printMem(s *hmos.Scheme) error {
+	sim, err := core.NewWithScheme(s, core.Config{})
+	if err != nil {
+		return err
+	}
+	ops := make([]core.Op, 0, s.Vars())
+	for v := 0; v < s.Vars(); v++ {
+		ops = append(ops, core.Op{Origin: v % s.N, Var: v, IsWrite: true, Value: core.Word(v)})
+		if len(ops) == s.N {
+			sim.Step(ops)
+			ops = ops[:0]
+		}
+	}
+	if len(ops) > 0 {
+		sim.Step(ops)
+	}
+	sim.Compact()
+	rep := sim.MemReport()
+	n := float64(s.N)
+	fmt.Printf("\nresident memory, all %d variables written, quiescent (Compact'ed):\n\n", s.Vars())
+	fmt.Println("layer        bytes        bytes/node")
+	row := func(name string, b int64) {
+		fmt.Printf("%-10s  %10d  %14.3f\n", name, b, float64(b)/n)
+	}
+	row("scheme", rep.Scheme)
+	row("store", rep.Store)
+	row("fault-sets", rep.FaultSets)
+	row("view-log", rep.ViewLog)
+	row("routing", rep.Routing)
+	row("total", rep.Total())
+	return nil
 }

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	pramserve [-addr :8080] [-pool N] [-queue 64] [-rate R] [-burst B]
-//	          [-cache-entries 1024] [-cache-bytes N] [-timeout 60s]
+//	          [-cache-entries 1024] [-cache-bytes N] [-timeout 60s] [-pprof]
 //
 // Endpoints:
 //
@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +47,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "result cache entries (-1 disables)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte bound (0 = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "sync request timeout")
+	pprofOn := flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (opt-in; do not enable on untrusted networks)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -58,9 +60,25 @@ func main() {
 		RequestTimeout: *timeout,
 	})
 
+	// Profiling lives strictly in this transport layer: the serve
+	// package's Handler and the workers are untouched, so enabling it
+	// cannot perturb simulation results. Handlers are mounted on our own
+	// mux (not DefaultServeMux), so nothing is exposed unless -pprof.
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Sync requests may legitimately wait the full computation
 		// timeout; leave WriteTimeout above it.

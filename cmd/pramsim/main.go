@@ -12,6 +12,7 @@
 //	        [-fault-view global|local] [-repair off|eager|lazy]
 //	        [-retry N] [-engine event|cycle]
 //	        [-ideal-memory WORDS] [-trace]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // The flag set is an overlay onto a sim.Scenario — the same
 // serializable configuration surface the pramserve service accepts.
@@ -31,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"meshpram/internal/serve"
 	"meshpram/internal/sim"
@@ -141,15 +144,35 @@ func main() {
 	}
 	fs := flag.NewFlagSet("pramsim", flag.ExitOnError)
 	fs.String("scenario", "", "JSON scenario file; explicit flags override its fields")
+	// Profiling flags are deliberately NOT Scenario fields: they shape
+	// the process, not the experiment, so they stay out of the
+	// serializable configuration surface (TestFlagsCoverScenario pins
+	// the scenario flag set; these live outside scenarioFlags).
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file after the run")
 	scenarioFlags(fs, &sc)
 	fatalIf(fs.Parse(os.Args[1:]))
 
 	sc = sc.Normalized()
 	fatalIf(sc.Validate())
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		fatalIf(err)
+		fatalIf(pprof.StartCPUProfile(f))
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 	res, err := serve.NewRunner().Run(sc)
 	fatalIf(err)
 	render(os.Stdout, res)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		fatalIf(err)
+		runtime.GC() // report reachable bytes, not garbage
+		fatalIf(pprof.WriteHeapProfile(f))
+		fatalIf(f.Close())
+	}
 }
 
 // render prints a Result in pramsim's traditional report format.

@@ -26,8 +26,10 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
+	"meshpram/internal/bitset"
 	"meshpram/internal/culling"
 	"meshpram/internal/fault"
 	"meshpram/internal/faultview"
@@ -241,9 +243,10 @@ type Simulator struct {
 	//detlint:ignore snapshotfields recycled scrub delivery buffer; truncated between scrubs
 	rbuf [][]rpkt
 
-	// store[p] is processor p's local memory module: copy slot id →
-	// (value, timestamp). Lazily populated; absent means (0, 0).
-	store []map[int64]cell
+	// st is the simulated shared memory: per-page cell slabs plus the
+	// sorted foreign overflow for remap-relocated cells (store.go).
+	// Lazily populated; an absent cell reads as (0, 0).
+	st *slabStore
 
 	now int64 // PRAM step counter (timestamp source)
 
@@ -263,9 +266,12 @@ type Simulator struct {
 	//detlint:ignore snapshotfields per-retry toggle owned by the caller around each step
 	hardened bool // select level-0 target sets (the retry path)
 
-	remap   map[int]int    // dead module → spare holding its relocated copies
-	quar    map[int64]bool // copy slots with lost data; excluded until rebuilt
-	pending []int          // dead modules awaiting a scrub
+	remap   map[int]int // dead module → spare holding its relocated copies
+	quar    *bitset.Set // copy slots with lost data; excluded until rebuilt (nil = empty)
+	pending []int       // dead modules awaiting a scrub
+
+	//detlint:ignore snapshotfields immutable sort-key geometry, derived from scheme and mesh at construction
+	destBits, seqBits uint // packet sort-key field widths (see NewWithScheme)
 
 	// Local fault knowledge (FaultView == faultview.Local only; nil in
 	// global mode). view is the gossip state shared by both routing
@@ -306,8 +312,22 @@ func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if m.N >= 1<<16 {
-		return nil, fmt.Errorf("core: mesh with %d processors exceeds the 2^16 packet-key limit", m.N)
+	// Packet sort keys pack (child submesh, destination, sequence) into
+	// one uint64 with widths sized to this instance; the historical
+	// fixed layout capped meshes at 2^16 processors.
+	destBits := uint(bits.Len64(uint64(m.N - 1)))
+	maxSeq := int64(min(m.N, s.M)) * int64(s.Redundant) // ops hold distinct variables
+	seqBits := uint(bits.Len64(uint64(maxSeq)))
+	childMax := s.ModCount[p.K]
+	for _, pp := range s.PagesPer[1:] {
+		if pp > childMax {
+			childMax = pp
+		}
+	}
+	childBits := uint(bits.Len64(uint64(childMax - 1)))
+	if childBits+destBits+seqBits > 63 { // keys must stay < route.MaxKey
+		return nil, fmt.Errorf("core: mesh with %d processors needs %d sort-key bits (max 63)",
+			m.N, childBits+destBits+seqBits)
 	}
 	if cfg.Faults != nil && cfg.Faults.Side() != p.Side {
 		return nil, fmt.Errorf("core: fault map side %d does not match mesh side %d", cfg.Faults.Side(), p.Side)
@@ -338,14 +358,16 @@ func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
 	ld := trace.New()
 	m.AttachLedger(ld)
 	sim := &Simulator{
-		S:      s,
-		M:      m,
-		cfg:    cfg,
-		ld:     ld,
-		arena:  newPktArena(m.N),
-		eng:    route.NewEngine[pkt](m),
-		store:  make([]map[int64]cell, m.N),
-		faults: live,
+		S:        s,
+		M:        m,
+		cfg:      cfg,
+		ld:       ld,
+		arena:    newPktArena(m.N),
+		eng:      route.NewEngine[pkt](m),
+		st:       newSlabStore(s),
+		faults:   live,
+		destBits: destBits,
+		seqBits:  seqBits,
 	}
 	sim.eng.SetMode(cfg.EngineMode)
 	if !cfg.Schedule.Empty() {
@@ -366,6 +388,28 @@ func NewWithScheme(s *hmos.Scheme, cfg Config) (*Simulator, error) {
 // FaultView returns the simulator's local fault view, or nil when the
 // configuration runs the global (omniscient) model.
 func (sim *Simulator) FaultView() *faultview.View { return sim.view }
+
+// quarantined reports whether a copy slot's data is lost (awaiting a
+// scrub rebuild). The quarantine bitset is lazily allocated by the
+// first module death, so healthy runs never pay for it.
+func (sim *Simulator) quarantined(slot int64) bool {
+	return sim.quar != nil && sim.quar.Get(int(slot))
+}
+
+// quarCount returns the number of quarantined copy slots.
+func (sim *Simulator) quarCount() int {
+	if sim.quar == nil {
+		return 0
+	}
+	return sim.quar.Count()
+}
+
+// ensureQuar allocates the quarantine bitset over the copy-slot space.
+func (sim *Simulator) ensureQuar() {
+	if sim.quar == nil {
+		sim.quar = bitset.New(sim.S.Vars() * sim.S.Redundant)
+	}
+}
 
 // MustNew is New but panics on error.
 func MustNew(p hmos.Params, cfg Config) *Simulator {
@@ -509,7 +553,7 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 					if err != nil {
 						return false, err
 					}
-					mask[leaf] = !f.ModuleDead(host) && !sim.quar[c.Slot]
+					mask[leaf] = !f.ModuleDead(host) && !sim.quarantined(c.Slot)
 					if !mask[leaf] {
 						degraded = true
 					}
@@ -523,7 +567,7 @@ func (sim *Simulator) StepChecked(ops []Op) ([]Word, *StepStats, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if degraded && sim.cfg.Repair == RepairLazy && (len(sim.pending) > 0 || len(sim.quar) > 0) {
+		if degraded && sim.cfg.Repair == RepairLazy && (len(sim.pending) > 0 || sim.quarCount() > 0) {
 			if err := sim.scrub(); err != nil {
 				return nil, nil, err
 			}
@@ -712,7 +756,7 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 	K := s.K
 	q := s.Q
 	for stage := K + 1; stage >= 2; stage-- {
-		parents := sim.stageRegions(stage)
+		pageN := sim.stagePages(stage)
 		childParts := sim.childParts(stage)
 
 		ssp := ld.BeginPar(fmt.Sprintf("stage-%d", stage), trace.PhaseOther)
@@ -721,7 +765,8 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 		ssp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 
 		var maxSort, maxRank, maxRoute int64
-		for pi, parent := range parents {
+		for pi := 0; pi < pageN; pi++ {
+			parent := sim.stageRegion(stage, pi)
 			if regionEmpty(m, parent, pkts) {
 				continue
 			}
@@ -729,7 +774,8 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 			// unique so network and fast sorts agree exactly.
 			sorted, _, sortSteps := sim.sortSnake(parent, pkts, func(p pkt) uint64 {
 				child := parent.SubRegionIndex(m, q, childParts, p.dest)
-				return uint64(child)<<40 | uint64(uint32(p.dest))<<24 | uint64(uint32(p.seq))
+				return uint64(child)<<(sim.destBits+sim.seqBits) |
+					uint64(p.dest)<<sim.seqBits | uint64(uint32(p.seq))
 			})
 			if sortSteps > maxSort {
 				maxSort = sortSteps
@@ -741,7 +787,6 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 			}
 			rsp := ld.Begin("rank", trace.PhaseRank)
 			rsp.Observe(rankSteps)
-			children := sim.childRegions(stage, pi)
 			groupSeen := make(map[int]int, childParts)
 			for i := 0; i < parent.Size(); i++ {
 				p := parent.ProcAtSnake(m, i)
@@ -750,7 +795,7 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 					child := parent.SubRegionIndex(m, q, childParts, pk.dest)
 					rank := groupSeen[child]
 					groupSeen[child] = rank + 1
-					reg := children[child]
+					reg := sim.childRegion(stage, pi, child)
 					pk.ts = int64(reg.ProcAtSnake(m, rank%reg.Size())) // stash intermediate in ts
 				}
 			}
@@ -791,7 +836,8 @@ func (sim *Simulator) routeStagedForward(pkts [][]pkt) {
 	ssp.SetAttr("delta-index", 1)
 	ssp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 	var maxRoute int64
-	for _, reg := range sim.S.Tess[1] {
+	for pg := 0; pg < sim.S.PageCount(1); pg++ {
+		reg := sim.S.PageRegion(1, pg)
 		if regionEmpty(m, reg, pkts) {
 			continue
 		}
@@ -817,7 +863,7 @@ func (sim *Simulator) routeDirect(pkts [][]pkt) {
 	dsp.SetAttr("delta-index", int64(sim.S.K+1))
 	dsp.SetAttr("delta", int64(maxLoadAll(m, pkts)))
 	sorted, _, sortSteps := sim.sortSnake(full, pkts, func(p pkt) uint64 {
-		return uint64(uint32(p.dest))<<24 | uint64(uint32(p.seq))
+		return uint64(p.dest)<<sim.seqBits | uint64(uint32(p.seq))
 	})
 	lf := ld.Begin("sort", trace.PhaseSort)
 	m.AddSteps(sortSteps)
@@ -837,15 +883,32 @@ func (sim *Simulator) routeDirect(pkts [][]pkt) {
 	dsp.End()
 }
 
-// access performs the local read/write of every delivered packet. The
-// per-processor loops touch disjoint state, so they run through the
-// machine's execution engine (parallel when Workers > 1); the max-load
-// scan stays sequential.
+// access performs the local read/write of every delivered packet. A
+// sequential prepass allocates the slabs the writes will land in (and
+// applies the rare foreign writes, which would shift the shared
+// overflow); the parallel loop then only writes preallocated slab
+// entries of distinct ranks — per-processor work touches disjoint
+// state, so it runs through the machine's execution engine (parallel
+// when Workers > 1). No slot is both read and written in one step
+// (variables are pairwise distinct per step), so the reordering is
+// unobservable.
 func (sim *Simulator) access(pkts [][]pkt) {
 	maxPer := 0
 	for p := range pkts {
 		if len(pkts[p]) > maxPer {
 			maxPer = len(pkts[p])
+		}
+		for j := range pkts[p] {
+			pk := &pkts[p][j]
+			if !pk.isW {
+				continue
+			}
+			page, _, home := sim.S.SlotPlace(pk.slot)
+			if home == p {
+				sim.st.allocPage(page)
+			} else {
+				sim.st.foreignSet(p, pk.slot, cell{val: pk.val, ts: sim.now})
+			}
 		}
 	}
 	asp := sim.ld.Begin("access", trace.PhaseAccess)
@@ -857,16 +920,20 @@ func (sim *Simulator) access(pkts [][]pkt) {
 			if pk.dest != p {
 				panic("core: packet accessed at wrong processor")
 			}
+			page, r1, home := sim.S.SlotPlace(pk.slot)
 			if pk.isW {
-				if sim.store[p] == nil {
-					sim.store[p] = make(map[int64]cell)
-				}
-				sim.store[p][pk.slot] = cell{val: pk.val, ts: sim.now}
+				if home == p {
+					sim.st.slabs[page][r1] = cell{val: pk.val, ts: sim.now}
+				} // foreign writes were applied by the prepass
 				pk.ts = sim.now
 			} else {
-				c := cell{}
-				if sim.store[p] != nil {
-					c = sim.store[p][pk.slot]
+				var c cell
+				if home == p {
+					if sl := sim.st.slabs[page]; sl != nil {
+						c = sl[r1]
+					}
+				} else {
+					c = sim.st.foreignGet(p, pk.slot)
 				}
 				pk.val, pk.ts = c.val, c.ts
 			}
@@ -897,16 +964,18 @@ func (sim *Simulator) routeReturn(pkts [][]pkt) {
 	}
 	K := s.K
 	for leg := 0; leg <= K; leg++ {
-		var regions []mesh.Region
-		if leg == K {
-			regions = []mesh.Region{m.Full()}
-		} else {
-			regions = s.Tess[leg+1]
+		pages := 1
+		if leg < K {
+			pages = s.PageCount(leg + 1)
 		}
 		lsp := ld.BeginPar(fmt.Sprintf("return-leg-%d", leg), trace.PhaseOther)
 		target := func(p pkt) int { return int(p.wp[len(p.wp)-1-leg]) }
 		var maxCycles int64
-		for _, reg := range regions {
+		for pg := 0; pg < pages; pg++ {
+			reg := m.Full()
+			if leg < K {
+				reg = s.PageRegion(leg+1, pg)
+			}
 			if regionEmpty(m, reg, pkts) {
 				continue
 			}
@@ -942,7 +1011,7 @@ func (sim *Simulator) selectReadOneWriteAll(ops []Op, avail [][]bool) *culling.R
 		Bound:    make([]int, s.K+1),
 	}
 	for i := 1; i <= s.K; i++ {
-		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+		res.PageLoad[i] = make([]int, s.PageCount(i))
 	}
 	var buf []hmos.Copy
 	for i, op := range ops {
@@ -1027,12 +1096,21 @@ func (sim *Simulator) sortSnake(r mesh.Region, items [][]pkt, key func(pkt) uint
 	return route.SortSnakeFast(sim.M, r, items, key)
 }
 
-// stageRegions returns the level-s submeshes (full mesh for s = K+1).
-func (sim *Simulator) stageRegions(stage int) []mesh.Region {
+// stagePages returns the number of level-s submeshes (1 for s = K+1).
+func (sim *Simulator) stagePages(stage int) int {
 	if stage == sim.S.K+1 {
-		return []mesh.Region{sim.M.Full()}
+		return 1
 	}
-	return sim.S.Tess[stage]
+	return sim.S.PageCount(stage)
+}
+
+// stageRegion returns the pi-th level-s submesh (the full mesh for
+// s = K+1), recomputed arithmetically — no tessellation is stored.
+func (sim *Simulator) stageRegion(stage, pi int) mesh.Region {
+	if stage == sim.S.K+1 {
+		return sim.M.Full()
+	}
+	return sim.S.PageRegion(stage, pi)
 }
 
 // childParts returns the number of level-(s−1) submeshes inside a
@@ -1044,13 +1122,11 @@ func (sim *Simulator) childParts(stage int) int {
 	return sim.S.PagesPer[stage]
 }
 
-// childRegions returns the level-(s−1) submeshes of the pi-th level-s
+// childRegion returns the c-th level-(s−1) submesh of the pi-th level-s
 // parent, using the global tessellation nesting (child c of parent j is
-// Tess[s−1][j·parts + c]).
-func (sim *Simulator) childRegions(stage, pi int) []mesh.Region {
-	parts := sim.childParts(stage)
-	lower := sim.S.Tess[stage-1]
-	return lower[pi*parts : (pi+1)*parts]
+// page j·parts + c of level s−1).
+func (sim *Simulator) childRegion(stage, pi, c int) mesh.Region {
+	return sim.S.PageRegion(stage-1, pi*sim.childParts(stage)+c)
 }
 
 func maxLoadAll(m *mesh.Machine, pkts [][]pkt) int {

@@ -273,12 +273,10 @@ func (sim *Simulator) moduleDied(p int, noticeIdx int) error {
 // the store, quarantine every copy whose current home resolves to p,
 // and queue p for the next scrub.
 func (sim *Simulator) loseModuleData(p int) error {
-	sim.store[p] = nil
+	sim.st.clearProc(p)
 	sim.ensureHostIdx()
-	if sim.quar == nil {
-		sim.quar = make(map[int64]bool)
-	}
-	red := int64(sim.S.Redundant)
+	sim.ensureQuar()
+	red := sim.S.Redundant
 	for home := 0; home < sim.M.N; home++ {
 		if len(sim.hostIdx[home]) == 0 {
 			continue
@@ -291,7 +289,7 @@ func (sim *Simulator) loseModuleData(p int) error {
 			continue
 		}
 		for _, hr := range sim.hostIdx[home] {
-			sim.quar[int64(hr.v)*red+int64(hr.leaf)] = true
+			sim.quar.Set(int(hr.v)*red+int(hr.leaf), true)
 		}
 	}
 	sim.pending = append(sim.pending, p)
@@ -377,10 +375,10 @@ func (sim *Simulator) spareFor(dead int) int {
 	ok := func(p int) bool {
 		return p != dead && !f.ModuleDead(p) && !sim.remapReaches(p, dead)
 	}
-	for _, reg := range sim.S.Tess[1] {
-		if !reg.Contains(sim.M, dead) {
-			continue
-		}
+	{
+		full := sim.M.Full()
+		pg := full.SubRegionIndex(sim.M, sim.S.Q, sim.S.PageCount(1), dead)
+		reg := sim.S.PageRegion(1, pg)
 		n := reg.Size()
 		at := reg.SnakeIndex(sim.M, dead)
 		for j := 1; j < n; j++ {
@@ -389,7 +387,6 @@ func (sim *Simulator) spareFor(dead int) int {
 				return p
 			}
 		}
-		break
 	}
 	for p := 0; p < sim.M.N; p++ {
 		if ok(p) && !claimed[p] {
@@ -411,7 +408,7 @@ func (sim *Simulator) spareFor(dead int) int {
 // writes are charged to the repair phase; copies whose repair packet
 // is lost en route stay quarantined for the next pass.
 func (sim *Simulator) scrub() error {
-	if len(sim.pending) == 0 && len(sim.quar) == 0 {
+	if len(sim.pending) == 0 && sim.quarCount() == 0 {
 		return nil
 	}
 	sim.rstats.Scrubs++
@@ -438,22 +435,21 @@ func (sim *Simulator) scrub() error {
 	if err := sim.repairQuarantined(sp); err != nil {
 		return err
 	}
-	sim.rstats.Residual = len(sim.quar)
+	sim.rstats.Residual = sim.quarCount()
 	return nil
 }
 
 // repairQuarantined rebuilds what the surviving copies can certify.
 func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
-	if len(sim.quar) == 0 {
+	if sim.quarCount() == 0 {
 		return nil
 	}
 	s, m := sim.S, sim.M
 	red := int64(s.Redundant)
-	slots := make([]int64, 0, len(sim.quar))
-	for slot := range sim.quar {
-		slots = append(slots, slot)
-	}
-	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	// Bitset iteration is ascending, i.e. already the sorted slot order
+	// the historical map-and-sort produced.
+	slots := make([]int64, 0, sim.quarCount())
+	sim.quar.ForEach(func(i int) { slots = append(slots, int64(i)) })
 
 	items := make([][]rpkt, m.N)
 	var buf []hmos.Copy
@@ -473,14 +469,11 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 				if err != nil {
 					return err
 				}
-				mask[l] = !sim.faults.ModuleDead(host) && !sim.quar[c.Slot]
+				mask[l] = !sim.faults.ModuleDead(host) && !sim.quarantined(c.Slot)
 				if !mask[l] {
 					continue
 				}
-				var cl cell
-				if sim.store[host] != nil {
-					cl = sim.store[host][c.Slot]
-				}
+				cl := sim.st.get(host, c.Slot)
 				if cl.ts > bestTs {
 					bestTs, bestVal, srcProc = cl.ts, cl.val, host
 				}
@@ -522,12 +515,9 @@ func (sim *Simulator) repairQuarantined(sp *trace.Span) error {
 		if len(delivered[p]) == 0 {
 			continue
 		}
-		if sim.store[p] == nil {
-			sim.store[p] = make(map[int64]cell)
-		}
 		for _, pk := range delivered[p] {
-			sim.store[p][pk.slot] = cell{val: pk.val, ts: pk.ts}
-			delete(sim.quar, pk.slot)
+			sim.st.set(p, pk.slot, cell{val: pk.val, ts: pk.ts})
+			sim.quar.Set(int(pk.slot), false)
 			sim.rstats.Repaired++
 		}
 		if len(delivered[p]) > maxWrites {

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"meshpram/internal/hmos"
@@ -82,5 +84,126 @@ func TestSnapshotGarbage(t *testing.T) {
 	sim := MustNew(hmos.Params{Side: 9, Q: 3, D: 3, K: 2}, Config{})
 	if err := sim.Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// legacySnapshot is the version-1 wire format (one gob value holding
+// every processor's cells), kept here to pin backward compatibility:
+// Load must keep accepting images written before the streaming format.
+type legacySnapshot struct {
+	Params    hmos.Params
+	Now       int64
+	Procs     []procImage
+	RemapFrom []int
+	RemapTo   []int
+	Quar      []int64
+	Pending   []int
+}
+
+func TestSnapshotLegacyV1Load(t *testing.T) {
+	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
+	sim := MustNew(p, Config{})
+	rng := rand.New(rand.NewSource(11))
+	written := map[int]Word{}
+	for step := 0; step < 3; step++ {
+		vars := rng.Perm(sim.S.Vars())[:20]
+		ops := make([]Op, len(vars))
+		for i, v := range vars {
+			ops[i] = Op{Origin: rng.Intn(sim.M.N), Var: v, IsWrite: true, Value: Word(v*10 + step)}
+			written[v] = ops[i].Value
+		}
+		sim.Step(ops)
+	}
+
+	// Reconstruct the populated state in the legacy per-processor
+	// layout, exactly as the old Save emitted it: processors ascending,
+	// slots sorted within each.
+	perProc := make(map[int]map[int64]cell)
+	for pg, sl := range sim.st.slabs {
+		for r1, c := range sl {
+			if c.ts == 0 {
+				continue
+			}
+			slot := sim.S.SlotOfPageRank(pg, r1)
+			_, _, proc := sim.S.SlotPlace(slot)
+			if perProc[proc] == nil {
+				perProc[proc] = make(map[int64]cell)
+			}
+			perProc[proc][slot] = c
+		}
+	}
+	img := legacySnapshot{Params: p, Now: sim.Now()}
+	for proc := 0; proc < sim.M.N; proc++ {
+		mem := perProc[proc]
+		if len(mem) == 0 {
+			continue
+		}
+		pi := procImage{Proc: proc}
+		for slot := range mem {
+			pi.Slots = append(pi.Slots, slot)
+		}
+		sort.Slice(pi.Slots, func(i, j int) bool { return pi.Slots[i] < pi.Slots[j] })
+		for _, slot := range pi.Slots {
+			pi.Vals = append(pi.Vals, mem[slot].val)
+			pi.TSs = append(pi.TSs, mem[slot].ts)
+		}
+		img.Procs = append(img.Procs, pi)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		t.Fatal(err)
+	}
+
+	sim2 := MustNew(p, Config{})
+	if err := sim2.Load(&buf); err != nil {
+		t.Fatalf("loading legacy image: %v", err)
+	}
+	if sim2.Now() != sim.Now() {
+		t.Fatalf("clock %d, want %d", sim2.Now(), sim.Now())
+	}
+	for v, want := range written {
+		res, _ := sim2.Step([]Op{{Origin: 0, Var: v}})
+		if res[0] != want {
+			t.Fatalf("legacy-restored var %d = %d, want %d", v, res[0], want)
+		}
+	}
+}
+
+// TestSnapshotByteDeterminism pins the determinism contract: identical
+// logical state yields byte-identical images, whether reached by
+// stepping or by a save/load round trip.
+func TestSnapshotByteDeterminism(t *testing.T) {
+	p := hmos.Params{Side: 9, Q: 3, D: 3, K: 2}
+	run := func() []byte {
+		sim := MustNew(p, Config{})
+		rng := rand.New(rand.NewSource(7))
+		for step := 0; step < 4; step++ {
+			vars := rng.Perm(sim.S.Vars())[:25]
+			ops := make([]Op, len(vars))
+			for i, v := range vars {
+				ops[i] = Op{Origin: rng.Intn(sim.M.N), Var: v, IsWrite: step%2 == 0, Value: Word(v + step)}
+			}
+			sim.Step(ops)
+		}
+		var buf bytes.Buffer
+		if err := sim.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical runs produced different snapshot bytes")
+	}
+	sim := MustNew(p, Config{})
+	if err := sim.Load(bytes.NewReader(a)); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := sim.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, again.Bytes()) {
+		t.Fatal("save → load → save changed the image bytes")
 	}
 }

@@ -94,11 +94,16 @@ func TestTorusNeverSlower(t *testing.T) {
 	}
 }
 
-// New must reject parameter shapes the packet key encoding cannot
-// carry.
-func TestNewRejectsHugeMesh(t *testing.T) {
-	if _, err := New(hmos.Params{Side: 729, Q: 3, D: 4, K: 2}, Config{}); err == nil {
-		t.Fatal("side 729 (n = 2^19) accepted despite key limit")
+// The historical 2^16 processor cap is gone: packet sort keys size
+// their fields to the instance, so large meshes construct (the SCALE
+// experiment runs side 1458 = n 2,125,764).
+func TestNewAcceptsLargeMesh(t *testing.T) {
+	sim, err := New(hmos.Params{Side: 729, Q: 3, D: 4, K: 2}, Config{})
+	if err != nil {
+		t.Fatalf("side 729 (n = 2^19) rejected: %v", err)
+	}
+	if sim.destBits < 19 {
+		t.Fatalf("destBits %d cannot carry %d processors", sim.destBits, sim.M.N)
 	}
 }
 

@@ -222,7 +222,7 @@ func RunAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, avail [][]bool) *
 		}
 
 		// Record loads of ∪C^i per level-i page.
-		loads := make([]int, len(s.Tess[i]))
+		loads := make([]int, s.PageCount(i))
 		for r := range reqs {
 			for leaf, on := range masks[r] {
 				if on {
@@ -270,7 +270,7 @@ func SelectWithoutCullingAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, 
 		fullAvail[i] = true
 	}
 	for i := 1; i <= s.K; i++ {
-		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+		res.PageLoad[i] = make([]int, s.PageCount(i))
 		res.Bound[i] = capAtLevel(4, qk, m.N, i)
 	}
 	for r, rq := range reqs {
@@ -319,7 +319,7 @@ func SelectHardenedAvail(s *hmos.Scheme, m *mesh.Machine, reqs []Request, avail 
 		fullAvail[i] = true
 	}
 	for i := 1; i <= s.K; i++ {
-		res.PageLoad[i] = make([]int, len(s.Tess[i]))
+		res.PageLoad[i] = make([]int, s.PageCount(i))
 		res.Bound[i] = capAtLevel(4, qk, m.N, i)
 	}
 	for r, rq := range reqs {

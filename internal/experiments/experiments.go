@@ -105,6 +105,7 @@ var All = []Experiment{
 	{"RECOVER", "Extension: self-healing — churn rate vs repaired copies, residual loss and repair cost", RunRecover},
 	{"GOSSIP", "Extension: local fault knowledge — discovery latency, notice staleness and extra loss vs the omniscient baseline", RunGossip},
 	{"ROUTE", "Infrastructure: allocation-lean greedy routing engine — ns/op, allocs/op and cycles vs the pre-engine baseline", RunRoute},
+	{"SCALE", "Infrastructure: million-node meshes — bytes/node and ns/cycle vs n against the pre-slab layout baseline", RunScale},
 }
 
 // RunAll executes every experiment, writing a section per experiment.

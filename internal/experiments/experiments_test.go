@@ -46,8 +46,8 @@ func TestIDsUniqueAndOrdered(t *testing.T) {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
 	}
-	if len(All) != 22 {
-		t.Fatalf("%d experiments, want 22 (DESIGN.md §4 plus FAULT, RECOVER, GOSSIP and ROUTE)", len(All))
+	if len(All) != 23 {
+		t.Fatalf("%d experiments, want 23 (DESIGN.md §4 plus FAULT, RECOVER, GOSSIP, ROUTE and SCALE)", len(All))
 	}
 }
 

@@ -38,6 +38,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"meshpram/internal/bitset"
 )
 
 // linkKey identifies an undirected mesh edge by its endpoint ids,
@@ -56,8 +58,8 @@ func mkLink(p, q int) linkKey {
 // fault-free paths never need nil checks.
 type Map struct {
 	side       int
-	deadNode   []bool
-	deadModule []bool
+	deadNode   *bitset.Set // dense: 1 bit per processor
+	deadModule *bitset.Set
 	deadLink   map[linkKey]bool
 	slowLink   map[linkKey]int // delay factor ≥ 2
 	faults     int             // total marks, for Empty()
@@ -71,8 +73,8 @@ func NewMap(side int) *Map {
 	}
 	return &Map{
 		side:       side,
-		deadNode:   make([]bool, side*side),
-		deadModule: make([]bool, side*side),
+		deadNode:   bitset.New(side * side),
+		deadModule: bitset.New(side * side),
 		deadLink:   make(map[linkKey]bool),
 		slowLink:   make(map[linkKey]int),
 	}
@@ -113,8 +115,8 @@ func (f *Map) Clone() *Map {
 		return nil
 	}
 	n := NewMap(f.side)
-	copy(n.deadNode, f.deadNode)
-	copy(n.deadModule, f.deadModule)
+	n.deadNode.CopyFrom(f.deadNode)
+	n.deadModule.CopyFrom(f.deadModule)
 	for k, v := range f.deadLink {
 		n.deadLink[k] = v
 	}
@@ -213,15 +215,13 @@ func (f *Map) SlowLink(p, q, factor int) *Map {
 // the chainable builders and of Apply (which bypasses the freeze: the
 // simulator owns a private clone when advancing a Schedule).
 func (f *Map) setNode(p int, dead bool) {
-	if f.deadNode[p] != dead {
-		f.deadNode[p] = dead
+	if f.deadNode.Set(p, dead) {
 		f.bump(dead)
 	}
 }
 
 func (f *Map) setModule(p int, dead bool) {
-	if f.deadModule[p] != dead {
-		f.deadModule[p] = dead
+	if f.deadModule.Set(p, dead) {
 		f.bump(dead)
 	}
 }
@@ -265,12 +265,12 @@ func (f *Map) bump(up bool) {
 }
 
 // NodeDead reports whether processor p is dead (nil-safe).
-func (f *Map) NodeDead(p int) bool { return f != nil && f.deadNode[p] }
+func (f *Map) NodeDead(p int) bool { return f != nil && f.deadNode.Get(p) }
 
 // ModuleDead reports whether processor p's memory module is
 // unavailable — either the module itself or the whole node is dead.
 func (f *Map) ModuleDead(p int) bool {
-	return f != nil && (f.deadModule[p] || f.deadNode[p])
+	return f != nil && (f.deadModule.Get(p) || f.deadNode.Get(p))
 }
 
 // LinkUp reports whether the edge p–q can carry packets: both
@@ -279,7 +279,7 @@ func (f *Map) LinkUp(p, q int) bool {
 	if f == nil {
 		return true
 	}
-	if f.deadNode[p] || f.deadNode[q] {
+	if f.deadNode.Get(p) || f.deadNode.Get(q) {
 		return false
 	}
 	return !f.deadLink[mkLink(p, q)]
@@ -342,22 +342,21 @@ func (f *Map) AppendLinkHazards(buf []LinkHazard) []LinkHazard {
 		out = append(out, LinkHazard{A: k.a, B: k.b})
 	}
 	s := f.side
-	for p, dead := range f.deadNode {
-		if !dead || s < 2 {
-			continue
-		}
-		pr, pc := p/s, p%s
-		nbs := [4]int{
-			pr*s + (pc+s-1)%s, pr*s + (pc+1)%s,
-			((pr+s-1)%s)*s + pc, ((pr+1)%s)*s + pc,
-		}
-		for _, q := range nbs {
-			a, b := p, q
-			if a > b {
-				a, b = b, a
+	if s >= 2 {
+		f.deadNode.ForEach(func(p int) {
+			pr, pc := p/s, p%s
+			nbs := [4]int{
+				pr*s + (pc+s-1)%s, pr*s + (pc+1)%s,
+				((pr+s-1)%s)*s + pc, ((pr+1)%s)*s + pc,
 			}
-			out = append(out, LinkHazard{A: a, B: b})
-		}
+			for _, q := range nbs {
+				a, b := p, q
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, LinkHazard{A: a, B: b})
+			}
+		})
 	}
 	keys = keys[:0]
 	for k := range f.slowLink {
@@ -403,17 +402,18 @@ func (f *Map) Counts() (nodes, links, modules, slow int) {
 	if f == nil {
 		return 0, 0, 0, 0
 	}
-	for _, d := range f.deadNode {
-		if d {
-			nodes++
-		}
+	return f.deadNode.Count(), len(f.deadLink), f.deadModule.Count(), len(f.slowLink)
+}
+
+// MemBytes returns the resident heap bytes of the map: two bits per
+// processor plus the (usually sparse) link maps. Nil-safe.
+func (f *Map) MemBytes() int64 {
+	if f == nil {
+		return 0
 	}
-	for _, d := range f.deadModule {
-		if d {
-			modules++
-		}
-	}
-	return nodes, len(f.deadLink), modules, len(f.slowLink)
+	b := f.deadNode.MemBytes() + f.deadModule.MemBytes()
+	b += int64(len(f.deadLink))*24 + int64(len(f.slowLink))*24
+	return b
 }
 
 // String summarizes the map for CLI output.
@@ -608,16 +608,8 @@ func Parse(side int, spec string) (*Map, error) {
 	if model != nil {
 		rm := model.Build(side)
 		// Merge the random realization into the explicit marks.
-		for p, d := range rm.deadNode {
-			if d {
-				f.KillNode(p)
-			}
-		}
-		for p, d := range rm.deadModule {
-			if d {
-				f.KillModule(p)
-			}
-		}
+		rm.deadNode.ForEach(func(p int) { f.KillNode(p) })
+		rm.deadModule.ForEach(func(p int) { f.KillModule(p) })
 		//detlint:ignore maprange set merge into another map is order-insensitive
 		for k := range rm.deadLink {
 			f.KillLink(k.a, k.b)

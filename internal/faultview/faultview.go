@@ -125,7 +125,16 @@ type View struct {
 	count []int      // popcount of known[p]
 	words int        // uint64 words per bitset row
 
-	belief []*fault.Map // per-node belief: base + known notices in log order
+	// belief[p] is node p's materialized belief (base + known notices
+	// in log order), or nil when it is shared copy-on-write: a node
+	// that knows nothing believes `base`, a node that knows the whole
+	// log believes `full`. When the log grows past a set of fully
+	// caught-up nodes, they are pointed at one shared prefix clone
+	// (owned[p] = false) instead of each cloning the map. Only the
+	// gossip wavefront ever owns a clone, which keeps resident belief
+	// state O(wavefront) instead of the old O(n²) of n full clones.
+	belief []*fault.Map
+	owned  []bool // belief[p] is p's private clone (safe to mutate)
 
 	nbs [][]int // sorted gossip neighbors per node
 
@@ -155,6 +164,7 @@ func New(side int, wrap bool, base *fault.Map, seed int64) *View {
 		next:   make([][]uint64, n),
 		count:  make([]int, n),
 		belief: make([]*fault.Map, n),
+		owned:  make([]bool, n),
 		nbs:    make([][]int, n),
 		quiet:  true,
 	}
@@ -163,7 +173,6 @@ func New(side int, wrap bool, base *fault.Map, seed int64) *View {
 	}
 	v.full = v.base.Clone()
 	for p := 0; p < n; p++ {
-		v.belief[p] = v.base.Clone()
 		v.nbs[p] = neighbors(side, wrap, p)
 	}
 	return v
@@ -216,8 +225,39 @@ func (v *View) Round() int64 { return v.round }
 func (v *View) Quiet() bool { return v.quiet }
 
 // BeliefAt returns node p's current local belief. The returned map is
-// owned by the view; callers must not mutate it.
-func (v *View) BeliefAt(p int) *fault.Map { return v.belief[p] }
+// owned by the view (and may be shared between nodes with identical
+// knowledge); callers must not mutate it.
+func (v *View) BeliefAt(p int) *fault.Map {
+	if b := v.belief[p]; b != nil {
+		return b
+	}
+	if v.count[p] == len(v.log) {
+		return v.full
+	}
+	return v.base
+}
+
+// materialize gives node p an owned belief clone, seeded from whichever
+// shared map its knowledge currently equals. Callers mutate the result.
+func (v *View) materialize(p int) *fault.Map {
+	if v.belief[p] == nil {
+		if v.count[p] == len(v.log) {
+			v.belief[p] = v.full.Clone()
+		} else {
+			v.belief[p] = v.base.Clone()
+		}
+	} else if !v.owned[p] {
+		v.belief[p] = v.belief[p].Clone()
+	}
+	v.owned[p] = true
+	return v.belief[p]
+}
+
+// setShared points node p at a shared belief map it must not mutate.
+func (v *View) setShared(p int, bel *fault.Map) {
+	v.belief[p] = bel
+	v.owned[p] = false
+}
 
 // KnownAt reports whether node p has learned notice idx of the log.
 func (v *View) KnownAt(p, idx int) bool {
@@ -347,7 +387,7 @@ func (v *View) Integrate(discs []Discovery, truth *fault.Map) int {
 		if truth.NodeDead(d.Witness) {
 			continue
 		}
-		if !v.wouldChange(v.belief[d.Witness], d) {
+		if !v.wouldChange(v.BeliefAt(d.Witness), d) {
 			continue
 		}
 		v.createNotice(d.Witness, d.Kind, d.P, d.Q, d.Factor, truth)
@@ -384,6 +424,25 @@ func (v *View) wouldChange(bel *fault.Map, d Discovery) bool {
 // createNotice appends a notice witnessed by node w and applies it to
 // w's belief immediately (the witness learns what it saw).
 func (v *View) createNotice(w int, kind fault.EventKind, p, q, factor int, truth *fault.Map) int {
+	// The log is about to grow: nodes that share `full` because they
+	// know the complete current log would silently regress to `base`.
+	// They all hold the same knowledge (the old log as a prefix), so
+	// pin them to one shared snapshot of the pre-notice quiet belief.
+	oldLen := len(v.log)
+	if oldLen > 0 {
+		var prefix *fault.Map
+		for p := 0; p < v.n; p++ {
+			if v.belief[p] == nil && v.count[p] == oldLen {
+				if prefix == nil {
+					prefix = v.full.Clone()
+				}
+				v.setShared(p, prefix)
+			}
+		}
+	}
+	// Materialize before the log grows: the clone must reflect w's
+	// pre-notice knowledge (count relative to the old log length).
+	bel := v.materialize(w)
 	nt := Notice{Seq: v.seq[w], Origin: w, Round: v.round, Kind: kind, P: p, Q: q, Factor: factor}
 	v.seq[w]++
 	idx := len(v.log)
@@ -393,8 +452,13 @@ func (v *View) createNotice(w int, kind fault.EventKind, p, q, factor int, truth
 	v.count[w]++
 	v.created++
 	v.applied++
-	v.belief[w].Apply(nt.Event())
+	bel.Apply(nt.Event())
 	v.full.Apply(nt.Event())
+	// The witness now knows the whole log again — fold its clone back
+	// into the shared quiet-state belief.
+	if v.count[w] == len(v.log) {
+		v.setShared(w, nil)
+	}
 	v.recomputeQuiet(truth)
 	return idx
 }
@@ -481,8 +545,13 @@ func (v *View) learn(p, idx int) {
 // rebuildBelief recomputes node p's belief from the base map and p's
 // known notices in log order — last-write-wins by log index, so a node
 // that learns an old kill after a newer revive still converges to the
-// newest state.
+// newest state. Nodes whose knowledge is empty or complete share the
+// base/full maps instead of owning a clone.
 func (v *View) rebuildBelief(p int) {
+	if v.count[p] == 0 || v.count[p] == len(v.log) {
+		v.setShared(p, nil)
+		return
+	}
 	bel := v.base.Clone()
 	row := v.known[p]
 	for i, nt := range v.log {
@@ -491,6 +560,7 @@ func (v *View) rebuildBelief(p int) {
 		}
 	}
 	v.belief[p] = bel
+	v.owned[p] = true
 }
 
 func (v *View) recomputeQuiet(truth *fault.Map) {
@@ -505,6 +575,28 @@ func (v *View) recomputeQuiet(truth *fault.Map) {
 		}
 	}
 	v.quiet = true
+}
+
+// MemBytes returns the resident heap bytes of the view's per-node
+// state: the notice log, knowledge bitsets and double buffer, gossip
+// topology, and every distinct materialized belief map (shared prefix
+// clones are counted once).
+func (v *View) MemBytes() int64 {
+	b := int64(len(v.log)) * 56 // Notice records
+	b += int64(v.n) * int64(v.words) * 16
+	b += int64(v.n) * (8 + 8 + 1 + 8 + 24*3)
+	for _, nb := range v.nbs {
+		b += int64(len(nb)) * 8
+	}
+	b += v.base.MemBytes() + v.full.MemBytes()
+	seen := make(map[*fault.Map]bool, 8)
+	for _, bel := range v.belief {
+		if bel != nil && !seen[bel] {
+			seen[bel] = true
+			b += bel.MemBytes()
+		}
+	}
+	return b
 }
 
 // AppendBeliefHazards appends the hazards of the quiet-state shared

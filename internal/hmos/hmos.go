@@ -59,10 +59,12 @@ type Scheme struct {
 	PagesPer  []int // PagesPer[i] = p_i for i = 1..K (index 0 unused): level-(i-1) pages per level-i module
 	Redundant int   // q^K copies per variable
 
-	// Tess[i], i = 1..K, is the level-i tessellation: one region per
-	// level-i page, indexed by PageIndex. Tess[0] is unused (level-0
-	// "pages" are copies living inside level-1 regions).
-	Tess [][]mesh.Region
+	// pageCount[i], i = 1..K, is the number of level-i pages — the
+	// tessellations themselves are implicit: PageRegion recomputes any
+	// page's submesh arithmetically from topTess, the only cached level
+	// (the level-K tessellation, ModCount[K] regions).
+	pageCount []int
+	topTess   []mesh.Region
 
 	// T[i] = processors per level-i submesh (paper's t_i), i = 1..K.
 	T []int
@@ -125,9 +127,11 @@ func New(p Params) (*Scheme, error) {
 		s.PagesPer[i] = lo
 	}
 
-	// Tessellations. totalParts[i] = number of level-i pages; must be a
-	// power of q dividing the mesh.
-	s.Tess = make([][]mesh.Region, p.K+1)
+	// Tessellations. The level-i page count must be a power of q
+	// dividing the mesh; only the level-K regions are materialized
+	// (topTess), every lower level is recomputed on demand by
+	// PageRegion.
+	s.pageCount = make([]int, p.K+1)
 	s.T = make([]int, p.K+1)
 	full := m.Full()
 	parts := 1
@@ -137,17 +141,21 @@ func New(p Params) (*Scheme, error) {
 		} else {
 			parts *= s.PagesPer[i+1]
 		}
-		regs, err := full.SplitQ(p.Q, parts)
-		if err != nil {
+		if err := splitCheck(full.H, full.W, p.Q, parts); err != nil {
 			return nil, fmt.Errorf("hmos: level-%d tessellation (%d parts on %d×%d mesh): %w",
 				i, parts, p.Side, p.Side, err)
 		}
 		if s.N%parts != 0 {
 			return nil, fmt.Errorf("hmos: %d level-%d pages do not divide n=%d", parts, i, s.N)
 		}
-		s.Tess[i] = regs
+		s.pageCount[i] = parts
 		s.T[i] = s.N / parts
 	}
+	topTess, err := full.SplitQ(p.Q, s.ModCount[p.K])
+	if err != nil {
+		return nil, fmt.Errorf("hmos: level-%d tessellation: %w", p.K, err)
+	}
+	s.topTess = topTess
 	if s.T[1] < 1 {
 		return nil, fmt.Errorf("hmos: t_1 = %d < 1 (memory too large for this mesh: α > 2(1-(k-1)/log_q n))", s.T[1])
 	}
@@ -253,14 +261,14 @@ func (s *Scheme) Copies(v int, dst []Copy) []Copy {
 	return dst
 }
 
-// PageIndex returns the index (into Tess[level]) of the level-`level`
-// page holding a copy with the given path, for 1 ≤ level ≤ K. The index
-// composes the canonical SplitQ child digits: the level-k module id
-// first, then, at each level lev below k, the rank of module
+// PageIndex returns the index (into the level-`level` tessellation) of
+// the page holding a copy with the given path, for 1 ≤ level ≤ K. The
+// index composes the canonical SplitQ child digits: the level-k module
+// id first, then, at each level lev below k, the rank of module
 // path[lev-1] among the inputs of its parent path[lev] in the
 // inter-level graph Graphs[lev] — exactly the order in which SplitQ
-// enumerates nested subregions, so Tess[level][PageIndex(level, path)]
-// is the page's submesh.
+// enumerates nested subregions, so PageRegion(level,
+// PageIndex(level, path)) is the page's submesh.
 func (s *Scheme) PageIndex(level int, path []int) int {
 	if level < 1 || level > s.K {
 		panic(fmt.Sprintf("hmos: level %d out of range [1,%d]", level, s.K))
@@ -271,6 +279,27 @@ func (s *Scheme) PageIndex(level int, path []int) int {
 		idx = idx*s.PagesPer[lev+1] + child
 	}
 	return idx
+}
+
+// PageCount returns the number of level-`level` pages, 1 ≤ level ≤ K.
+func (s *Scheme) PageCount(level int) int {
+	if level < 1 || level > s.K {
+		panic(fmt.Sprintf("hmos: level %d out of range [1,%d]", level, s.K))
+	}
+	return s.pageCount[level]
+}
+
+// PageRegion returns the submesh of level-`level` page idx without
+// materializing the tessellation: the page index's leading digits pick
+// a cached level-K region (topTess), the remaining digits descend into
+// it by SubRegionAt. Nested SplitQ tessellations refine digit by
+// digit, so this equals SplitQ(q, PageCount(level))[idx].
+func (s *Scheme) PageRegion(level, idx int) mesh.Region {
+	if level < 1 || level > s.K {
+		panic(fmt.Sprintf("hmos: level %d out of range [1,%d]", level, s.K))
+	}
+	per := s.pageCount[level] / s.ModCount[s.K]
+	return s.topTess[idx/per].SubRegionAt(s.Q, per, idx%per)
 }
 
 // Mesh returns the machine geometry the scheme is bound to. The
@@ -284,9 +313,79 @@ func (s *Scheme) Mesh() *mesh.Machine { return s.mach }
 // position r_1 mod t_1 (copies evenly distributed over the page's
 // processors, §3.3).
 func (s *Scheme) procOf(v int, path []int) int {
-	reg1 := s.Tess[1][s.PageIndex(1, path)]
+	reg1 := s.PageRegion(1, s.PageIndex(1, path))
 	r1 := s.Graphs[0].RankOfInput(path[0], v)
 	return reg1.ProcAtSnake(s.mach, r1%s.T[1])
+}
+
+// SlotPlace locates copy slot id (= Var·q^k + Leaf) without building a
+// Copy: the level-1 page holding it, its rank r1 among the page's p_1
+// copies, and the storing processor — O(k) arithmetic, no allocation
+// for k ≤ 8.
+func (s *Scheme) SlotPlace(slot int64) (page, r1, proc int) {
+	v := int(slot / int64(s.Redundant))
+	leaf := int(slot % int64(s.Redundant))
+	var pbuf [8]int
+	path := pbuf[:]
+	if s.K > len(pbuf) {
+		path = make([]int, s.K)
+	}
+	cur := v
+	for i := 0; i < s.K; i++ {
+		h, a, b := s.Graphs[i].Split(cur)
+		xi := (leaf / s.qPowK[s.K-1-i]) % s.Q
+		cur = s.Graphs[i].OutputAt(h, a, b, xi)
+		path[i] = cur
+	}
+	page = s.PageIndex(1, path[:s.K])
+	r1 = s.Graphs[0].RankOfInput(path[0], v)
+	proc = s.PageRegion(1, page).ProcAtSnake(s.mach, r1%s.T[1])
+	return page, r1, proc
+}
+
+// SlotOfPageRank is the inverse of SlotPlace's (page, r1) pair: it
+// recovers the slot id of the copy at rank r1 of level-1 page `page`.
+// The page digits are decoded bottom-up into the leaf-to-root module
+// path (InputAtRank inverts RankOfInput level by level), r1 then names
+// the variable among the page's copies, and the leaf index is re-read
+// off the path's edge digits.
+func (s *Scheme) SlotOfPageRank(page, r1 int) int64 {
+	var pbuf, cbuf [8]int
+	path, children := pbuf[:], cbuf[:]
+	if s.K > len(pbuf) {
+		path = make([]int, s.K)
+		children = make([]int, s.K)
+	}
+	rest := page
+	for lev := 1; lev < s.K; lev++ {
+		children[lev] = rest % s.PagesPer[lev+1]
+		rest /= s.PagesPer[lev+1]
+	}
+	path[s.K-1] = rest
+	for lev := s.K - 1; lev >= 1; lev-- {
+		path[lev-1] = s.Graphs[lev].InputAtRank(path[lev], children[lev])
+	}
+	v := s.Graphs[0].InputAtRank(path[0], r1)
+	leaf := 0
+	cur := v
+	for i := 0; i < s.K; i++ {
+		leaf = leaf*s.Q + s.Graphs[i].EdgeIndex(cur, path[i])
+		cur = path[i]
+	}
+	return int64(v)*int64(s.Redundant) + int64(leaf)
+}
+
+// MemBytes returns the resident heap bytes of the scheme's tables —
+// all O(1) in n (the constructivity pay-off): the cached level-K
+// tessellation plus the per-level parameter slices. The shared mesh
+// machine is excluded (it is O(1) itself and owned by the caller).
+func (s *Scheme) MemBytes() int64 {
+	b := int64(len(s.topTess)) * int64(4*8) // 4 ints per Region
+	for _, sl := range [][]int{s.Ds, s.ModCount, s.PagesPer, s.pageCount, s.T, s.qPowK} {
+		b += int64(len(sl)) * 8
+	}
+	b += int64(len(s.Graphs)) * int64(8*8) // Design headers (qPowers ≤ D+1 ints)
+	return b
 }
 
 // SlotWithinPage returns the slot of variable v's copy inside its
@@ -295,6 +394,34 @@ func (s *Scheme) procOf(v int, path []int) int {
 func (s *Scheme) SlotWithinPage(v int, path []int) (slot, local int) {
 	r1 := s.Graphs[0].RankOfInput(path[0], v)
 	return r1, r1 / s.T[1]
+}
+
+// splitCheck mirrors SplitQ's validation on dimensions alone: parts
+// must be a power of q, and the longest-side-first recursion must
+// divide exactly at every level. All children of one split are
+// congruent, so checking a single descent chain checks the whole
+// tessellation.
+func splitCheck(h, w, q, parts int) error {
+	if parts < 1 {
+		return fmt.Errorf("mesh: parts=%d must be ≥ 1", parts)
+	}
+	for f := parts; f > 1; f /= q {
+		if f%q != 0 {
+			return fmt.Errorf("mesh: parts=%d is not a power of q=%d", parts, q)
+		}
+		if h >= w {
+			if h%q != 0 {
+				return fmt.Errorf("mesh: region height %d not divisible by %d", h, q)
+			}
+			h /= q
+		} else {
+			if w%q != 0 {
+				return fmt.Errorf("mesh: region width %d not divisible by %d", w, q)
+			}
+			w /= q
+		}
+	}
+	return nil
 }
 
 func ipow(b, e int) int {

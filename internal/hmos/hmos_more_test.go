@@ -61,8 +61,8 @@ func TestDeepHierarchyK4(t *testing.T) {
 		buf = s.Copies(v, buf[:0])
 		for _, c := range buf {
 			for lvl := 1; lvl < s.K; lvl++ {
-				in := s.Tess[lvl][s.PageIndex(lvl, c.Path)]
-				out := s.Tess[lvl+1][s.PageIndex(lvl+1, c.Path)]
+				in := s.PageRegion(lvl, s.PageIndex(lvl, c.Path))
+				out := s.PageRegion(lvl+1, s.PageIndex(lvl+1, c.Path))
 				if in.R0 < out.R0 || in.C0 < out.C0 ||
 					in.R0+in.H > out.R0+out.H || in.C0+in.W > out.C0+out.W {
 					t.Fatalf("var %d leaf %d: level %d not nested in %d", v, c.Leaf, lvl, lvl+1)

@@ -53,14 +53,14 @@ func TestStructuralCounts(t *testing.T) {
 			}
 			// Tessellation count: m_i · q^(K-i) level-i pages.
 			wantPages := s.ModCount[i] * ipow(p.Q, p.K-i)
-			if len(s.Tess[i]) != wantPages {
-				t.Fatalf("%+v: %d level-%d regions, want %d", p, len(s.Tess[i]), i, wantPages)
+			if s.PageCount(i) != wantPages {
+				t.Fatalf("%+v: %d level-%d regions, want %d", p, s.PageCount(i), i, wantPages)
 			}
 			if s.T[i]*wantPages != s.N {
 				t.Fatalf("%+v: t_%d=%d does not tile n", p, i, s.T[i])
 			}
-			for _, r := range s.Tess[i] {
-				if r.Size() != s.T[i] {
+			for pg := 0; pg < wantPages; pg++ {
+				if r := s.PageRegion(i, pg); r.Size() != s.T[i] {
 					t.Fatalf("%+v: level-%d region size %d != t_i %d", p, i, r.Size(), s.T[i])
 				}
 			}
@@ -112,7 +112,7 @@ func TestCopyEnumeration(t *testing.T) {
 				}
 				// Processor must lie inside every level's page region.
 				for lev := 1; lev <= p.K; lev++ {
-					reg := s.Tess[lev][s.PageIndex(lev, c.Path)]
+					reg := s.PageRegion(lev, s.PageIndex(lev, c.Path))
 					if !reg.Contains(s.Mesh(), c.Proc) {
 						t.Fatalf("%+v: var %d leaf %d: proc %d outside level-%d page region %v",
 							p, v, c.Leaf, c.Proc, lev, reg)
@@ -145,6 +145,51 @@ func TestCopyEnumeration(t *testing.T) {
 	}
 }
 
+// The implicit tessellation must reproduce the materialized one: for
+// every level, PageRegion(level, i) equals SplitQ(q, pageCount)[i].
+func TestPageRegionMatchesSplitQ(t *testing.T) {
+	for _, p := range testParams {
+		s := MustNew(p)
+		full := s.Mesh().Full()
+		for lev := 1; lev <= p.K; lev++ {
+			regs, err := full.SplitQ(p.Q, s.PageCount(lev))
+			if err != nil {
+				t.Fatalf("%+v: SplitQ level %d: %v", p, lev, err)
+			}
+			for i, want := range regs {
+				if got := s.PageRegion(lev, i); got != want {
+					t.Fatalf("%+v: PageRegion(%d,%d)=%v, want %v", p, lev, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// SlotPlace must agree with CopyAt, and SlotOfPageRank must invert it.
+func TestSlotPlaceRoundtrip(t *testing.T) {
+	for _, p := range testParams {
+		s := MustNew(p)
+		for v := 0; v < s.M; v++ {
+			for leaf := 0; leaf < s.Redundant; leaf++ {
+				c := s.CopyAt(v, leaf)
+				page, r1, proc := s.SlotPlace(c.Slot)
+				if proc != c.Proc {
+					t.Fatalf("%+v: slot %d placed at proc %d, CopyAt says %d", p, c.Slot, proc, c.Proc)
+				}
+				if want := s.PageIndex(1, c.Path); page != want {
+					t.Fatalf("%+v: slot %d page %d, want %d", p, c.Slot, page, want)
+				}
+				if wr1, _ := s.SlotWithinPage(v, c.Path); r1 != wr1 {
+					t.Fatalf("%+v: slot %d rank %d, want %d", p, c.Slot, r1, wr1)
+				}
+				if got := s.SlotOfPageRank(page, r1); got != c.Slot {
+					t.Fatalf("%+v: SlotOfPageRank(%d,%d)=%d, want %d", p, page, r1, got, c.Slot)
+				}
+			}
+		}
+	}
+}
+
 func TestLeafDigitsRoundtrip(t *testing.T) {
 	s := MustNew(Params{Side: 9, Q: 3, D: 3, K: 2})
 	for leaf := 0; leaf < s.Redundant; leaf++ {
@@ -162,8 +207,8 @@ func TestPageNesting(t *testing.T) {
 	for v := 0; v < 50; v++ {
 		buf = s.Copies(v, buf[:0])
 		for _, c := range buf {
-			inner := s.Tess[1][s.PageIndex(1, c.Path)]
-			outer := s.Tess[2][s.PageIndex(2, c.Path)]
+			inner := s.PageRegion(1, s.PageIndex(1, c.Path))
+			outer := s.PageRegion(2, s.PageIndex(2, c.Path))
 			if inner.R0 < outer.R0 || inner.C0 < outer.C0 ||
 				inner.R0+inner.H > outer.R0+outer.H || inner.C0+inner.W > outer.C0+outer.W {
 				t.Fatalf("var %d leaf %d: level-1 region %v not inside level-2 region %v",
@@ -346,7 +391,7 @@ func TestTargetSetMonotonicity(t *testing.T) {
 func TestPageIndexDistribution(t *testing.T) {
 	// Every level-1 page must receive exactly p_1 copies overall.
 	s := MustNew(Params{Side: 9, Q: 3, D: 3, K: 2})
-	counts := make([]int, len(s.Tess[1]))
+	counts := make([]int, s.PageCount(1))
 	var buf []Copy
 	for v := 0; v < s.M; v++ {
 		buf = s.Copies(v, buf[:0])

@@ -138,6 +138,38 @@ func TestSplitQCoversDisjoint(t *testing.T) {
 	}
 }
 
+func TestSubRegionAtMatchesSplitQ(t *testing.T) {
+	// SubRegionAt(q, parts, i) must equal SplitQ(q, parts)[i] for every
+	// index, including non-square intermediate shapes (side 2·3^2 forces
+	// width-first splits at odd levels).
+	for _, side := range []int{27, 18, 81} {
+		m := MustNew(side)
+		full := m.Full()
+		for _, parts := range []int{1, 3, 9, 27, 81} {
+			subs, err := full.SplitQ(3, parts)
+			if err != nil {
+				continue
+			}
+			for i, want := range subs {
+				if got := full.SubRegionAt(3, parts, i); got != want {
+					t.Fatalf("side %d: SubRegionAt(3,%d,%d)=%v, want %v", side, parts, i, got, want)
+				}
+			}
+		}
+	}
+	// Also from a non-square root, as the HMOS descends through them.
+	root := Region{R0: 0, C0: 0, H: 27, W: 9}
+	subs, err := root.SplitQ(3, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range subs {
+		if got := root.SubRegionAt(3, 27, i); got != want {
+			t.Fatalf("rect root: SubRegionAt(3,27,%d)=%v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestSplitQErrors(t *testing.T) {
 	m := MustNew(10)
 	if _, err := m.Full().SplitQ(3, 6); err == nil {

@@ -153,6 +153,32 @@ func (r Region) SubRegionIndex(m *Machine, q, parts, p int) int {
 	return idx
 }
 
+// SubRegionAt returns subregion idx of SplitQ(q, parts) without
+// materializing the split — the inverse of SubRegionIndex. It walks the
+// same longest-side-first recursion, peeling one base-q digit of idx
+// per level (most significant first, matching SplitQ's enumeration
+// order). parts must be a power of q dividing the region exactly, as
+// for SplitQ; idx must lie in [0, parts).
+func (r Region) SubRegionAt(q, parts, idx int) Region {
+	if idx < 0 || idx >= parts {
+		panic(fmt.Sprintf("mesh: subregion index %d outside [0,%d)", idx, parts))
+	}
+	reg := r
+	for f := parts; f > 1; f /= q {
+		div := f / q
+		child := idx / div
+		idx %= div
+		if reg.H >= reg.W {
+			h := reg.H / q
+			reg = Region{R0: reg.R0 + child*h, C0: reg.C0, H: h, W: reg.W}
+		} else {
+			w := reg.W / q
+			reg = Region{R0: reg.R0, C0: reg.C0 + child*w, H: reg.H, W: w}
+		}
+	}
+	return reg
+}
+
 func reverse(s []int) {
 	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
 		s[i], s[j] = s[j], s[i]

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"unsafe"
 
 	"meshpram/internal/fault"
 	"meshpram/internal/faultview"
@@ -326,6 +327,65 @@ func (e *Engine[T]) cleanup() {
 		e.inQ[lp] = false
 	}
 	e.active = e.active[:0]
+}
+
+// Release drops every retained buffer of the engine — the packet slab,
+// per-node queues, shard arenas, trajectory buckets and hazard caches —
+// returning it to its just-constructed footprint. The engine stays
+// fully usable: every buffer is lazily regrown by the next routing
+// call. Call it only between routing calls (the at-rest invariant of
+// cleanup must hold); it exists so a long-lived simulator can reach a
+// compact quiescent state for snapshots and memory accounting.
+func (e *Engine[T]) Release() {
+	e.val, e.dests, e.dcol, e.dist, e.dir, e.from = nil, nil, nil, nil, nil, nil
+	e.queues, e.inQ, e.active, e.scratch = nil, nil, nil, nil
+	e.arr, e.csd, e.cuts = nil, nil, nil
+	e.vbkt, e.vtouch, e.trjH, e.trjV, e.delq = nil, nil, nil, nil, nil
+	e.haz, e.hbuf = nil, nil
+	e.ptry, e.pwait, e.disc, e.dropq, e.wcnt, e.discAll = nil, nil, nil, nil, nil, nil
+	e.hazLog = -1 // the hazard union must be rebuilt from the view
+}
+
+// MemBytes returns the resident heap bytes retained by the engine's
+// buffers (capacities, not lengths — the free-list keeps capacity
+// across calls). The shared machine, fault view and worker pool are
+// not counted.
+func (e *Engine[T]) MemBytes() int64 {
+	var sz int64
+	sz += int64(cap(e.val)) * int64(unsafe.Sizeof(*new(T)))
+	sz += int64(cap(e.dests)+cap(e.dcol)+cap(e.dist)+cap(e.from)) * 4
+	sz += int64(cap(e.dir)) * 1
+	sz += int64(cap(e.queues)) * 24
+	for _, q := range e.queues {
+		sz += int64(cap(q)) * 4
+	}
+	sz += int64(cap(e.inQ))
+	sz += int64(cap(e.active)+cap(e.scratch)+cap(e.cuts)) * 4
+	sz += int64(cap(e.arr)) * 24
+	for _, a := range e.arr {
+		sz += int64(cap(a)) * int64(unsafe.Sizeof(engArrival{}))
+	}
+	sz += int64(cap(e.csd))
+	sz += int64(cap(e.vbkt)) * 24
+	for _, b := range e.vbkt {
+		sz += int64(cap(b)) * 8
+	}
+	sz += int64(cap(e.vtouch))*4 + int64(cap(e.trjH))*4 + int64(cap(e.trjV))
+	sz += int64(cap(e.delq)) * int64(unsafe.Sizeof(engDel{}))
+	sz += int64(cap(e.haz)) * int64(unsafe.Sizeof(engHazard{}))
+	sz += int64(cap(e.hbuf)) * int64(unsafe.Sizeof(fault.LinkHazard{}))
+	sz += int64(cap(e.ptry)) + int64(cap(e.pwait))*8
+	sz += int64(cap(e.disc)) * 24
+	for _, d := range e.disc {
+		sz += int64(cap(d)) * int64(unsafe.Sizeof(faultview.Discovery{}))
+	}
+	sz += int64(cap(e.dropq)) * 24
+	for _, d := range e.dropq {
+		sz += int64(cap(d)) * int64(unsafe.Sizeof(engDrop{}))
+	}
+	sz += int64(cap(e.wcnt)) * 4
+	sz += int64(cap(e.discAll)) * int64(unsafe.Sizeof(faultview.Discovery{}))
+	return sz
 }
 
 // localOf maps an absolute processor id to its region-local index.

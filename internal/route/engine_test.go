@@ -221,3 +221,30 @@ func TestEngineReuseMatchesFresh(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineReleaseKeepsIdentity interleaves Release with routing calls
+// and demands the released-and-regrown engine stays bit-identical to a
+// fresh one, while MemBytes reflects the retained footprint.
+func TestEngineReleaseKeepsIdentity(t *testing.T) {
+	m := mesh.MustNew(16)
+	m.SetFaults(staticFaults(16))
+	m.AttachLedger(trace.New())
+	shared := NewEngine[item](m)
+	dest := func(v item) int { return v.dest }
+	for round := 0; round < 3; round++ {
+		items := engineInstance("random", m, int64(10+round))
+		wantD, wantS, wantL := NewEngine[item](m).RouteFault(nil, m.Full(), cloneItems(items), dest)
+		gotD, gotS, gotL := shared.RouteFault(nil, m.Full(), items, dest)
+		if wantS != gotS || wantL != gotL || !reflect.DeepEqual(wantD, gotD) {
+			t.Fatalf("round %d: released engine diverged from fresh (cycles %d vs %d, lost %d vs %d)",
+				round, gotS, wantS, gotL, wantL)
+		}
+		if shared.MemBytes() == 0 {
+			t.Fatalf("round %d: MemBytes 0 after routing", round)
+		}
+		shared.Release()
+		if got := shared.MemBytes(); got != 0 {
+			t.Fatalf("round %d: MemBytes %d after Release, want 0", round, got)
+		}
+	}
+}
